@@ -1,0 +1,156 @@
+// Table I reproduction: Neon vs a "Taichi-like" flat-array baseline on the
+// 2-D Karman vortex street, single device, wall-clock LUPS.
+//
+// The paper compares Neon's library approach against Taichi's compiler
+// approach on a single GPU and finds them closely matched (speedup ~1.0).
+// Here both run on the CPU backend, so the measured ratio isolates exactly
+// what the paper's table isolates: the framework overhead of Neon's
+// abstraction versus hand-written flat loops. Domain sizes are scaled down
+// from the paper's (4096x1024 ... 32768x8192) to host-executable sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/benchtool.hpp"
+#include "dgrid/dfield.hpp"
+#include "lbm/karman2d.hpp"
+
+using namespace neon;
+
+namespace {
+
+struct SizeCase
+{
+    int32_t nx;
+    int32_t ny;
+};
+
+const std::vector<SizeCase>& sizes()
+{
+    static const std::vector<SizeCase> s = [] {
+        std::vector<SizeCase> v{{256, 64}, {512, 128}, {1024, 256}};
+        if (benchtool::paperScale()) {
+            v.push_back({2048, 512});
+        }
+        return v;
+    }();
+    return s;
+}
+
+lbm::KarmanConfig configFor(const SizeCase& sc)
+{
+    lbm::KarmanConfig cfg;
+    cfg.nx = sc.nx;
+    cfg.ny = sc.ny;
+    cfg.inflow = 0.05;
+    cfg.reynolds = 150.0;
+    return cfg;
+}
+
+constexpr int kItersPerRep = 20;
+
+void neonKarman(benchmark::State& state)
+{
+    const auto sc = sizes()[static_cast<size_t>(state.range(0))];
+    const auto cfg = configFor(sc);
+    dgrid::DGrid grid(set::Backend::cpu(1), {cfg.nx, 1, cfg.ny}, lbm::D2Q9::stencilXZ());
+    lbm::KarmanD2Q9<dgrid::DGrid> solver(grid, cfg);
+    solver.run(2);  // warm the caches / first-run paths
+    solver.sync();
+    for (auto _ : state) {
+        solver.run(kItersPerRep);
+        solver.sync();
+    }
+    const double lups = static_cast<double>(sc.nx) * sc.ny * kItersPerRep;
+    state.counters["MLUPS"] =
+        benchmark::Counter(lups / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+    benchtool::record("neon/" + std::to_string(sc.nx),
+                      lups / 1e6 / (state.iterations() ? 1 : 1));
+}
+
+void nativeKarman(benchmark::State& state)
+{
+    const auto sc = sizes()[static_cast<size_t>(state.range(0))];
+    const auto cfg = configFor(sc);
+    lbm::NativeKarmanD2Q9<float> solver(cfg);
+    solver.run(2);
+    for (auto _ : state) {
+        solver.run(kItersPerRep);
+    }
+    const double lups = static_cast<double>(sc.nx) * sc.ny * kItersPerRep;
+    state.counters["MLUPS"] =
+        benchmark::Counter(lups / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    for (size_t i = 0; i < sizes().size(); ++i) {
+        const auto& sc = sizes()[i];
+        const auto  label = std::to_string(sc.nx) + "x" + std::to_string(sc.ny);
+        benchmark::RegisterBenchmark(("table1/neon/" + label).c_str(), neonKarman)
+            ->Arg(static_cast<int>(i))
+            ->Iterations(3)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(("table1/taichiLike/" + label).c_str(), nativeKarman)
+            ->Arg(static_cast<int>(i))
+            ->Iterations(3)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Paper-shaped summary: measure once more with a plain timer so the
+    // table is self-contained (google-benchmark reported per-rep times
+    // above).
+    benchtool::Table table;
+    table.title = "Table I — Karman vortex street (D2Q9), single device, wall-clock";
+    table.header = {"Domain", "Neon (MLUPS)", "Taichi-like (MLUPS)", "Speedup"};
+    for (const auto& sc : sizes()) {
+        const auto cfg = configFor(sc);
+        const int  iters = 20;
+
+        // Best-of-three reps: wall-clock on a shared host is noisy.
+        dgrid::DGrid grid(set::Backend::cpu(1), {cfg.nx, 1, cfg.ny}, lbm::D2Q9::stencilXZ());
+        lbm::KarmanD2Q9<dgrid::DGrid> neonSolver(grid, cfg);
+        neonSolver.run(2);
+        neonSolver.sync();
+        double tNeon = 1e30;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            neonSolver.run(iters);
+            neonSolver.sync();
+            tNeon = std::min(
+                tNeon,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+        }
+
+        lbm::NativeKarmanD2Q9<float> nativeSolver(cfg);
+        nativeSolver.run(2);
+        double tNative = 1e30;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t1 = std::chrono::steady_clock::now();
+            nativeSolver.run(iters);
+            tNative = std::min(
+                tNative,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count());
+        }
+
+        const double cells = static_cast<double>(cfg.nx) * cfg.ny * iters;
+        const double neonMlups = cells / tNeon / 1e6;
+        const double nativeMlups = cells / tNative / 1e6;
+        table.rows.push_back({std::to_string(cfg.nx) + " x " + std::to_string(cfg.ny),
+                              benchtool::fmt(neonMlups), benchtool::fmt(nativeMlups),
+                              benchtool::fmt(neonMlups / nativeMlups)});
+    }
+    table.print();
+    std::cout << "Paper's shape: speedup ~1.0 across sizes — the library abstraction\n"
+                 "costs little against hand-written flat loops (paper Table I: 0.98-1.14x).\n";
+    return 0;
+}

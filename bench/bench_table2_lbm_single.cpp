@@ -1,0 +1,131 @@
+// Table II reproduction: single-device D3Q19 lid-driven cavity throughput
+// of four implementations (paper §VI-A):
+//   cuboltz-like      — hand-written fused pull kernel (fastest native)
+//   stlbm AA-like     — single-buffer AA addressing
+//   stlbm twoPop-like — two populations through an index-array indirection
+//   Neon twoPop       — this library, CPU backend, one device
+//
+// The paper finds Neon within ~1% of cuboltz and faster than both stlbm
+// variants; the ordering (not the absolute MLUPS, which are host-CPU scale
+// here) is the reproduced result.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "common/benchtool.hpp"
+#include "dgrid/dfield.hpp"
+#include "lbm/cavity3d.hpp"
+#include "lbm/native3d.hpp"
+
+using namespace neon;
+
+namespace {
+
+index_3d domain()
+{
+    return benchtool::paperScale() ? index_3d{64, 64, 64} : index_3d{40, 40, 40};
+}
+
+constexpr double kTau = 0.56;
+constexpr double kLid = 0.1;
+constexpr int    kIters = 10;
+
+template <typename Fn>
+void runBench(benchmark::State& state, Fn&& step)
+{
+    step(2);  // warmup
+    for (auto _ : state) {
+        step(kIters);
+    }
+    state.counters["MLUPS"] = benchmark::Counter(
+        domain().size() * static_cast<double>(kIters) / 1e6,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void neonTwoPop(benchmark::State& state)
+{
+    dgrid::DGrid grid(set::Backend::cpu(1), domain(), lbm::D3Q19::stencil());
+    lbm::CavityD3Q19<dgrid::DGrid> solver(grid, kTau, kLid);
+    runBench(state, [&](int n) {
+        solver.run(n);
+        solver.sync();
+    });
+}
+
+void nativeVariant(benchmark::State& state, lbm::native::Variant variant)
+{
+    lbm::native::NativeCavityD3Q19<float> solver(domain(), kTau, kLid, variant);
+    runBench(state, [&](int n) { solver.run(n); });
+}
+
+double wallMlups(const std::function<void(int)>& step)
+{
+    // Best of three reps: the host is shared, so min-time is the honest
+    // throughput estimate.
+    step(2);
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        step(kIters);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        best = std::max(best, domain().size() * static_cast<double>(kIters) / secs / 1e6);
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using lbm::native::Variant;
+    benchmark::RegisterBenchmark("table2/cuboltzLike", [](benchmark::State& s) {
+        nativeVariant(s, Variant::Fused);
+    })->Iterations(3)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("table2/stlbmAALike", [](benchmark::State& s) {
+        nativeVariant(s, Variant::AA);
+    })->Iterations(3)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("table2/stlbmTwoPopLike", [](benchmark::State& s) {
+        nativeVariant(s, Variant::TwoPopIdx);
+    })->Iterations(3)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("table2/neonTwoPop", neonTwoPop)
+        ->Iterations(3)
+        ->Unit(benchmark::kMillisecond);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    benchtool::Table table;
+    table.title = "Table II — D3Q19 lid-driven cavity " + domain().to_string() +
+                  ", single device, wall-clock";
+    table.header = {"Implementation", "MLUPS", "vs cuboltz-like"};
+
+    lbm::native::NativeCavityD3Q19<float> fused(domain(), kTau, kLid, Variant::Fused);
+    lbm::native::NativeCavityD3Q19<float> aa(domain(), kTau, kLid, Variant::AA);
+    lbm::native::NativeCavityD3Q19<float> idx(domain(), kTau, kLid, Variant::TwoPopIdx);
+    dgrid::DGrid grid(set::Backend::cpu(1), domain(), lbm::D3Q19::stencil());
+    lbm::CavityD3Q19<dgrid::DGrid> neonSolver(grid, kTau, kLid);
+
+    const double mFused = wallMlups([&](int n) { fused.run(n); });
+    const double mAa = wallMlups([&](int n) { aa.run(n); });
+    const double mIdx = wallMlups([&](int n) { idx.run(n); });
+    const double mNeon = wallMlups([&](int n) {
+        neonSolver.run(n);
+        neonSolver.sync();
+    });
+
+    auto row = [&](const char* name, double m) {
+        table.rows.push_back({name, benchtool::fmt(m), benchtool::fmt(m / mFused, 3)});
+    };
+    row("cuboltz-like (native fused)", mFused);
+    row("stlbm AA-like", mAa);
+    row("stlbm twoPop-like (indexed)", mIdx);
+    row("Neon twoPop", mNeon);
+    table.print();
+    std::cout << "Paper's shape: Neon within a few % of the native fused kernel\n"
+                 "(paper: <1% degradation vs cuboltz; faster than the stlbm variants).\n";
+    return 0;
+}

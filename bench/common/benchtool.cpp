@@ -1,0 +1,84 @@
+#include "common/benchtool.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace neon::benchtool {
+
+namespace {
+std::map<std::string, double>& registry()
+{
+    static std::map<std::string, double> r;
+    return r;
+}
+std::mutex gMutex;
+}  // namespace
+
+bool paperScale()
+{
+    const char* env = std::getenv("NEON_BENCH_PAPER");
+    return env != nullptr && std::atoi(env) != 0;
+}
+
+void record(const std::string& key, double value)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    registry()[key] = value;
+}
+
+double lookup(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = registry().find(key);
+    return it == registry().end() ? 0.0 : it->second;
+}
+
+bool has(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    return registry().count(key) > 0;
+}
+
+std::string fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void Table::print() const
+{
+    std::vector<size_t> width(header.size(), 0);
+    for (size_t c = 0; c < header.size(); ++c) {
+        width[c] = header[c].size();
+    }
+    for (const auto& row : rows) {
+        for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto printRow = [&](const std::vector<std::string>& row) {
+        std::cout << "|";
+        for (size_t c = 0; c < width.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : "";
+            std::cout << " " << std::setw(static_cast<int>(width[c])) << cell << " |";
+        }
+        std::cout << "\n";
+    };
+    std::cout << "\n== " << title << " ==\n";
+    printRow(header);
+    std::vector<std::string> sep;
+    for (size_t c = 0; c < width.size(); ++c) {
+        sep.push_back(std::string(width[c], '-'));
+    }
+    printRow(sep);
+    for (const auto& row : rows) {
+        printRow(row);
+    }
+    std::cout << std::endl;
+}
+
+}  // namespace neon::benchtool

@@ -1,0 +1,56 @@
+#pragma once
+// Shared helpers for the paper-reproduction benchmarks: paper-shaped table
+// printing, result registry (filled from inside google-benchmark bodies),
+// virtual-time measurement on the simulated backend, and the
+// NEON_BENCH_PAPER switch that adds the paper's exact domain sizes via the
+// simulator's dry-run mode.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "set/backend.hpp"
+
+namespace neon::benchtool {
+
+/// True when NEON_BENCH_PAPER=1: scaling benches add the paper's exact
+/// domain sizes (executed in dry-run mode: cost accounting only).
+bool paperScale();
+
+/// Record a scalar result (e.g. seconds/iteration) under a key; used to
+/// assemble the paper-shaped summary tables after the benchmark run.
+void   record(const std::string& key, double value);
+double lookup(const std::string& key);
+bool   has(const std::string& key);
+
+/// Fixed-point formatting helper.
+std::string fmt(double v, int precision = 2);
+
+/// Markdown-ish table printer.
+struct Table
+{
+    std::string                           title;
+    std::vector<std::string>              header;
+    std::vector<std::vector<std::string>> rows;
+
+    void print() const;
+};
+
+/// Measure the virtual time of `iterationBody` per call as a makespan
+/// delta (no clock reset: completion events of earlier runs keep their
+/// timestamps, so deltas are the safe measure).
+template <typename Fn>
+double measureVirtual(set::Backend& backend, int iters, Fn&& iterationBody)
+{
+    backend.sync();
+    const double t0 = backend.maxVtime();
+    for (int i = 0; i < iters; ++i) {
+        iterationBody();
+    }
+    backend.sync();
+    return (backend.maxVtime() - t0) / iters;
+}
+
+}  // namespace neon::benchtool

@@ -1,0 +1,57 @@
+// Reproduces the paper's Fig. 1 as executable output: the virtual timeline
+// of a map followed by a stencil on a simulated 2-GPU node, at increasing
+// OCC levels. '=' is compute, '~' is a halo transfer — watch the transfer
+// slide under the computation as the optimization gets more aggressive.
+
+#include <iostream>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+#include "skeleton/skeleton.hpp"
+
+using namespace neon;
+
+int main()
+{
+    const index_3d dim{96, 96, 192};
+
+    for (Occ occ : {Occ::NONE, Occ::STANDARD, Occ::EXTENDED}) {
+        auto         backend = set::Backend::simGpu(2);
+        dgrid::DGrid grid(backend, dim, Stencil::laplace7());
+        auto         A = grid.newField<float>("A", 1, 0.0f);
+        auto         B = grid.newField<float>("B", 1, 0.0f);
+
+        // map: B = 2A ; stencil: A = laplacian(B) — Fig. 1's pattern.
+        auto map = grid.newContainer("map", [&](set::Loader& l) {
+            auto a = l.load(A, Access::READ);
+            auto b = l.load(B, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable { b(c) = 2.0f * a(c); };
+        });
+        auto stencil = grid.newContainer("stencil", [&](set::Loader& l) {
+            auto b = l.load(B, Access::READ, Compute::STENCIL);
+            auto a = l.load(A, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable {
+                float acc = -6.0f * b(c);
+                for (const auto& off : Stencil::laplace7().points()) {
+                    acc += b.nghVal(c, off);
+                }
+                a(c) = acc;
+            };
+        });
+
+        skeleton::Skeleton app(backend);
+        app.sequence({map, stencil}, "fig1", skeleton::Options(occ));
+
+        backend.trace().enable(true);
+        app.run();
+        app.sync();
+        backend.trace().enable(false);
+
+        std::cout << "==== OCC: " << to_string(occ) << " ====\n";
+        std::cout << backend.trace().gantt(90) << "\n";
+    }
+
+    std::cout << "Legend: '=' kernel, '~' halo transfer; rows are (device, stream).\n"
+              << "With OCC the '~' row overlaps the internal-kernel row — the paper's Fig. 1b/1c.\n";
+    return 0;
+}

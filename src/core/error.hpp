@@ -1,0 +1,64 @@
+#pragma once
+// Error types and assertion helpers shared by all Neon layers.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace neon {
+
+/// Base class for all errors raised by the library.
+class NeonException : public std::runtime_error
+{
+   public:
+    explicit NeonException(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a (simulated) device allocation exceeds the device capacity.
+/// Reproduces the out-of-memory data point in the paper's Fig. 9.
+class DeviceMemoryError : public NeonException
+{
+   public:
+    DeviceMemoryError(int deviceId, size_t requested, size_t inUse, size_t capacity)
+        : NeonException("device " + std::to_string(deviceId) + " out of memory: requested " +
+                        std::to_string(requested) + " B with " + std::to_string(inUse) +
+                        " B in use of " + std::to_string(capacity) + " B capacity"),
+          deviceId(deviceId),
+          requested(requested),
+          inUse(inUse),
+          capacity(capacity)
+    {
+    }
+
+    int    deviceId;
+    size_t requested;
+    size_t inUse;
+    size_t capacity;
+};
+
+/// Internal invariant violation (scheduler/runtime bug, not user error).
+class InternalError : public NeonException
+{
+   public:
+    explicit InternalError(const std::string& what) : NeonException("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwAssert(const char*                 expr,
+                                     const std::string&          msg,
+                                     const std::source_location& loc)
+{
+    throw NeonException(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                        ": assertion (" + expr + ") failed: " + msg);
+}
+}  // namespace detail
+
+/// Always-on checked assertion. Used for user-facing API contract checks.
+#define NEON_CHECK(expr, msg)                                                        \
+    do {                                                                             \
+        if (!(expr)) {                                                               \
+            ::neon::detail::throwAssert(#expr, (msg), std::source_location::current()); \
+        }                                                                            \
+    } while (0)
+
+}  // namespace neon

@@ -1,0 +1,93 @@
+#pragma once
+// 3-component integer index used for grid dimensions, cell coordinates and
+// stencil offsets. Mirrors Neon's index_3d (paper §III, Listing 1).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace neon {
+
+struct index_3d
+{
+    int32_t x = 0;
+    int32_t y = 0;
+    int32_t z = 0;
+
+    constexpr index_3d() = default;
+    constexpr index_3d(int32_t xi, int32_t yi, int32_t zi) : x(xi), y(yi), z(zi) {}
+    /// Uniform constructor: (v, v, v).
+    constexpr explicit index_3d(int32_t v) : x(v), y(v), z(v) {}
+
+    /// Number of cells in the box [0, x) x [0, y) x [0, z).
+    [[nodiscard]] constexpr size_t size() const
+    {
+        return static_cast<size_t>(x) * static_cast<size_t>(y) * static_cast<size_t>(z);
+    }
+
+    /// Row-major (x fastest) linearization of a coordinate within this box.
+    [[nodiscard]] constexpr size_t pitch(const index_3d& p) const
+    {
+        return static_cast<size_t>(p.x) +
+               static_cast<size_t>(p.y) * static_cast<size_t>(x) +
+               static_cast<size_t>(p.z) * static_cast<size_t>(x) * static_cast<size_t>(y);
+    }
+
+    /// Inverse of pitch(): delinearize a flat index into a coordinate.
+    [[nodiscard]] constexpr index_3d fromPitch(size_t flat) const
+    {
+        const size_t plane = static_cast<size_t>(x) * static_cast<size_t>(y);
+        return {static_cast<int32_t>(flat % static_cast<size_t>(x)),
+                static_cast<int32_t>((flat % plane) / static_cast<size_t>(x)),
+                static_cast<int32_t>(flat / plane)};
+    }
+
+    /// True when p lies inside the box [0, x) x [0, y) x [0, z).
+    [[nodiscard]] constexpr bool contains(const index_3d& p) const
+    {
+        return p.x >= 0 && p.y >= 0 && p.z >= 0 && p.x < x && p.y < y && p.z < z;
+    }
+
+    constexpr index_3d operator+(const index_3d& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr index_3d operator-(const index_3d& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr index_3d operator*(int32_t s) const { return {x * s, y * s, z * s}; }
+    constexpr bool     operator==(const index_3d& o) const = default;
+
+    /// Lexicographic (z, y, x) order; matches the cell ordering used by grids.
+    [[nodiscard]] constexpr bool zyxLess(const index_3d& o) const
+    {
+        if (z != o.z) return z < o.z;
+        if (y != o.y) return y < o.y;
+        return x < o.x;
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    /// Visit every coordinate of the box in (z, y, x)-major order.
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        for (int32_t zi = 0; zi < z; ++zi)
+            for (int32_t yi = 0; yi < y; ++yi)
+                for (int32_t xi = 0; xi < x; ++xi)
+                    fn(index_3d{xi, yi, zi});
+    }
+};
+
+std::ostream& operator<<(std::ostream& os, const index_3d& i);
+
+}  // namespace neon
+
+template <>
+struct std::hash<neon::index_3d>
+{
+    size_t operator()(const neon::index_3d& i) const noexcept
+    {
+        size_t h = static_cast<size_t>(static_cast<uint32_t>(i.x));
+        h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(i.y);
+        h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(i.z);
+        return h;
+    }
+};

@@ -1,0 +1,26 @@
+#include "core/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace neon::log {
+
+int level()
+{
+    static const int lvl = [] {
+        const char* env = std::getenv("NEON_LOG_LEVEL");
+        return env != nullptr ? std::atoi(env) : 0;
+    }();
+    return lvl;
+}
+
+void emit(int lvl, const std::string& msg)
+{
+    static std::mutex      mtx;
+    static const char*     tags[] = {"", "[neon:info] ", "[neon:debug] ", "[neon:trace] "};
+    std::lock_guard<std::mutex> lock(mtx);
+    std::cerr << tags[lvl < 4 ? lvl : 3] << msg << "\n";
+}
+
+}  // namespace neon::log

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logger. Off by default; enable with NEON_LOG_LEVEL env var
+// (0 = off, 1 = info, 2 = debug, 3 = trace).
+
+#include <sstream>
+#include <string>
+
+namespace neon::log {
+
+int level();
+
+void emit(int lvl, const std::string& msg);
+
+template <typename... Args>
+void info(Args&&... args)
+{
+    if (level() >= 1) {
+        std::ostringstream os;
+        (os << ... << args);
+        emit(1, os.str());
+    }
+}
+
+template <typename... Args>
+void debug(Args&&... args)
+{
+    if (level() >= 2) {
+        std::ostringstream os;
+        (os << ... << args);
+        emit(2, os.str());
+    }
+}
+
+template <typename... Args>
+void trace(Args&&... args)
+{
+    if (level() >= 3) {
+        std::ostringstream os;
+        (os << ... << args);
+        emit(3, os.str());
+    }
+}
+
+}  // namespace neon::log

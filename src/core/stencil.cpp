@@ -1,0 +1,86 @@
+#include "core/stencil.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace neon {
+
+Stencil::Stencil(std::vector<index_3d> offsets, std::string name)
+    : mPoints(std::move(offsets)), mName(std::move(name))
+{
+    for (const auto& p : mPoints) {
+        mZRadius = std::max(mZRadius, std::abs(p.z));
+        mRadius = std::max({mRadius, std::abs(p.x), std::abs(p.y), std::abs(p.z)});
+    }
+}
+
+Stencil Stencil::laplace7()
+{
+    return Stencil({{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}},
+                   "laplace7");
+}
+
+Stencil Stencil::box27()
+{
+    std::vector<index_3d> pts;
+    for (int z = -1; z <= 1; ++z) {
+        for (int y = -1; y <= 1; ++y) {
+            for (int x = -1; x <= 1; ++x) {
+                if (x != 0 || y != 0 || z != 0) {
+                    pts.push_back({x, y, z});
+                }
+            }
+        }
+    }
+    return Stencil(std::move(pts), "box27");
+}
+
+Stencil Stencil::lbmD3Q19()
+{
+    std::vector<index_3d> pts;
+    for (int z = -1; z <= 1; ++z) {
+        for (int y = -1; y <= 1; ++y) {
+            for (int x = -1; x <= 1; ++x) {
+                const int nonZero = (x != 0) + (y != 0) + (z != 0);
+                if (nonZero == 1 || nonZero == 2) {
+                    pts.push_back({x, y, z});
+                }
+            }
+        }
+    }
+    return Stencil(std::move(pts), "lbmD3Q19");  // 18 directions + rest = D3Q19
+}
+
+Stencil Stencil::lbmD2Q9()
+{
+    std::vector<index_3d> pts;
+    for (int y = -1; y <= 1; ++y) {
+        for (int x = -1; x <= 1; ++x) {
+            if (x != 0 || y != 0) {
+                pts.push_back({x, y, 0});
+            }
+        }
+    }
+    return Stencil(std::move(pts), "lbmD2Q9");
+}
+
+Stencil Stencil::unionOf(const std::vector<Stencil>& stencils)
+{
+    std::vector<index_3d> pts;
+    for (const auto& s : stencils) {
+        for (const auto& p : s.points()) {
+            if (std::find(pts.begin(), pts.end(), p) == pts.end()) {
+                pts.push_back(p);
+            }
+        }
+    }
+    return Stencil(std::move(pts), "union");
+}
+
+int Stencil::findPoint(const index_3d& offset) const
+{
+    auto it = std::find(mPoints.begin(), mPoints.end(), offset);
+    return it == mPoints.end() ? -1 : static_cast<int>(it - mPoints.begin());
+}
+
+}  // namespace neon

@@ -1,0 +1,48 @@
+#pragma once
+// Stencil: the set of neighbour offsets a computation reads (paper §III-b).
+// Grids use the union of all registered stencils to size halos and to
+// classify cells into internal/boundary (paper §IV-C1).
+
+#include <string>
+#include <vector>
+
+#include "core/index3d.hpp"
+
+namespace neon {
+
+class Stencil
+{
+   public:
+    Stencil() = default;
+    explicit Stencil(std::vector<index_3d> offsets, std::string name = "custom");
+
+    /// 6-point von-Neumann neighbourhood (7-point Laplacian without centre).
+    static Stencil laplace7();
+    /// Full 26-neighbour box (27-point FEM stencil without centre).
+    static Stencil box27();
+    /// D3Q19 lattice directions (centre excluded).
+    static Stencil lbmD3Q19();
+    /// D2Q9 lattice directions in the z=0 plane (centre excluded).
+    static Stencil lbmD2Q9();
+
+    static Stencil unionOf(const std::vector<Stencil>& stencils);
+
+    [[nodiscard]] const std::vector<index_3d>& points() const { return mPoints; }
+    [[nodiscard]] int  pointCount() const { return static_cast<int>(mPoints.size()); }
+    /// Max |z| over offsets: the halo radius for 1-D z partitioning.
+    [[nodiscard]] int zRadius() const { return mZRadius; }
+    /// Max |component| over offsets (extent of the offset->slot LUT).
+    [[nodiscard]] int radius() const { return mRadius; }
+    [[nodiscard]] const std::string& name() const { return mName; }
+
+    /// Index of an offset within points(), or -1.
+    [[nodiscard]] int findPoint(const index_3d& offset) const;
+
+   private:
+    std::vector<index_3d> mPoints;
+    std::string           mName = "empty";
+    int                   mZRadius = 0;
+    int                   mRadius = 0;
+};
+
+}  // namespace neon

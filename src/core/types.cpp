@@ -1,0 +1,58 @@
+#include "core/types.hpp"
+
+#include "core/index3d.hpp"
+
+namespace neon {
+
+std::string to_string(DataView v)
+{
+    switch (v) {
+        case DataView::STANDARD: return "STANDARD";
+        case DataView::INTERNAL: return "INTERNAL";
+        case DataView::BOUNDARY: return "BOUNDARY";
+    }
+    return "?";
+}
+
+std::string to_string(Compute c)
+{
+    switch (c) {
+        case Compute::MAP: return "MAP";
+        case Compute::STENCIL: return "STENCIL";
+        case Compute::REDUCE: return "REDUCE";
+    }
+    return "?";
+}
+
+std::string to_string(Access a)
+{
+    return a == Access::READ ? "READ" : "WRITE";
+}
+
+std::string to_string(MemLayout l)
+{
+    return l == MemLayout::structOfArrays ? "SoA" : "AoS";
+}
+
+std::string to_string(Occ o)
+{
+    switch (o) {
+        case Occ::NONE: return "none";
+        case Occ::STANDARD: return "standard";
+        case Occ::EXTENDED: return "extended";
+        case Occ::TWO_WAY: return "twoWayExtended";
+    }
+    return "?";
+}
+
+std::string index_3d::to_string() const
+{
+    return "(" + std::to_string(x) + ", " + std::to_string(y) + ", " + std::to_string(z) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const index_3d& i)
+{
+    return os << i.to_string();
+}
+
+}  // namespace neon

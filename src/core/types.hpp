@@ -1,0 +1,55 @@
+#pragma once
+// Enumerations shared across the Set / Domain / Skeleton layers
+// (paper §III-b and §IV-B).
+
+#include <cstdint>
+#include <string>
+
+namespace neon {
+
+/// Which subset of a partition a kernel iterates (paper §IV-C1, Fig. 3).
+enum class DataView : uint8_t
+{
+    STANDARD,  ///< internal + boundary cells
+    INTERNAL,  ///< cells whose stencil touches only local data
+    BOUNDARY,  ///< cells whose stencil reads halo data
+};
+
+/// Compute pattern a field is loaded for (paper §III-b).
+enum class Compute : uint8_t
+{
+    MAP,      ///< cell-local access
+    STENCIL,  ///< neighbourhood access; requires halo coherence
+    REDUCE,   ///< participates in a reduction
+};
+
+/// Access mode recorded by the Loader for dependency analysis.
+enum class Access : uint8_t
+{
+    READ,
+    WRITE,
+};
+
+/// Memory layout for multi-component (vector) fields (paper §IV-C2).
+enum class MemLayout : uint8_t
+{
+    structOfArrays,  ///< [component][cell]
+    arrayOfStructs,  ///< [cell][component]
+};
+
+/// Overlap-of-computation-and-communication variants (paper §V-B).
+enum class Occ : uint8_t
+{
+    NONE,      ///< no stencil split; halo update is a hard barrier
+    STANDARD,  ///< split stencil nodes into internal/boundary
+    EXTENDED,  ///< also split map nodes preceding the stencil
+    TWO_WAY,   ///< also split map/reduce nodes following the stencil
+};
+
+std::string to_string(DataView v);
+std::string to_string(Compute c);
+std::string to_string(Access a);
+std::string to_string(MemLayout l);
+std::string to_string(Occ o);
+
+}  // namespace neon

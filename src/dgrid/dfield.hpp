@@ -1,0 +1,350 @@
+#pragma once
+// DField<T>: scalar or vector metadata over a DGrid (paper §IV-C2).
+// Supports SoA/AoS layouts; boundary planes are contiguous per component,
+// so one haloUpdate issues 2 transfers per device for AoS/scalar fields and
+// 2*cardinality transfers for SoA fields — exactly the paper's accounting.
+
+#include <memory>
+#include <string>
+
+#include "core/error.hpp"
+#include "dgrid/dgrid.hpp"
+#include "set/memset.hpp"
+
+namespace neon::dgrid {
+
+/// Partition local view captured by compute lambdas (valid on one device).
+template <typename T>
+struct DPartition
+{
+    T*        mem = nullptr;
+    int32_t   dimX = 0;
+    int32_t   dimY = 0;
+    int32_t   zCount = 0;
+    int32_t   haloR = 0;
+    int32_t   zAlloc = 0;
+    int32_t   card = 1;
+    int32_t   zOrigin = 0;
+    int32_t   globalZ = 0;
+    MemLayout layout = MemLayout::structOfArrays;
+    T         outside = T{};
+
+    [[nodiscard]] size_t bufIdx(int32_t x, int32_t y, int32_t zb, int32_t c) const
+    {
+        if (layout == MemLayout::structOfArrays) {
+            return ((static_cast<size_t>(c) * static_cast<size_t>(zAlloc) + static_cast<size_t>(zb)) *
+                        static_cast<size_t>(dimY) +
+                    static_cast<size_t>(y)) *
+                       static_cast<size_t>(dimX) +
+                   static_cast<size_t>(x);
+        }
+        return ((static_cast<size_t>(zb) * static_cast<size_t>(dimY) + static_cast<size_t>(y)) *
+                    static_cast<size_t>(dimX) +
+                static_cast<size_t>(x)) *
+                   static_cast<size_t>(card) +
+               static_cast<size_t>(c);
+    }
+
+    [[nodiscard]] T& operator()(const DCell& cell, int32_t c = 0)
+    {
+        return mem[bufIdx(cell.x, cell.y, cell.z + haloR, c)];
+    }
+
+    [[nodiscard]] const T& operator()(const DCell& cell, int32_t c = 0) const
+    {
+        return mem[bufIdx(cell.x, cell.y, cell.z + haloR, c)];
+    }
+
+    struct NghData
+    {
+        T    value{};
+        bool isValid = false;
+    };
+
+    /// Read a neighbour's value; cells outside the global domain return the
+    /// field's outsideValue (isValid == false). Neighbours in another
+    /// partition are served from the halo planes.
+    [[nodiscard]] NghData nghData(const DCell& cell, const index_3d& offset, int32_t c = 0) const
+    {
+        const int32_t nx = cell.x + offset.x;
+        const int32_t ny = cell.y + offset.y;
+        const int32_t nz = cell.z + offset.z;
+        if (nx < 0 || nx >= dimX || ny < 0 || ny >= dimY) {
+            return {outside, false};
+        }
+        const int32_t gz = zOrigin + nz;
+        if (gz < 0 || gz >= globalZ) {
+            return {outside, false};
+        }
+        return {mem[bufIdx(nx, ny, nz + haloR, c)], true};
+    }
+
+    [[nodiscard]] T nghVal(const DCell& cell, const index_3d& offset, int32_t c = 0) const
+    {
+        return nghData(cell, offset, c).value;
+    }
+
+    /// Unchecked neighbour read: the caller guarantees the neighbour is
+    /// inside the global domain (e.g. it already inspected a flag field
+    /// whose outsideValue marks walls). Skips the bounds tests of
+    /// nghData() — the overhead the paper attributes Neon's remaining
+    /// gap to hand-written kernels to (§VI-B).
+    [[nodiscard]] T nghValUnchecked(const DCell& cell, const index_3d& offset,
+                                    int32_t c = 0) const
+    {
+        return mem[bufIdx(cell.x + offset.x, cell.y + offset.y, cell.z + offset.z + haloR, c)];
+    }
+
+    [[nodiscard]] index_3d globalIdx(const DCell& cell) const
+    {
+        return {cell.x, cell.y, zOrigin + cell.z};
+    }
+
+    [[nodiscard]] index_3d globalDim() const { return {dimX, dimY, globalZ}; }
+
+    [[nodiscard]] int32_t cardinality() const { return card; }
+};
+
+template <typename T>
+class DField
+{
+   public:
+    using Partition = DPartition<T>;
+
+    DField() = default;
+
+    DField(const DGrid& grid, std::string name, int cardinality, T outsideValue, MemLayout layout)
+        : mImpl(std::make_shared<Impl>())
+    {
+        NEON_CHECK(cardinality >= 1, "cardinality must be >= 1");
+        mImpl->grid = grid;
+        mImpl->name = std::move(name);
+        mImpl->card = cardinality;
+        mImpl->outside = outsideValue;
+        mImpl->layout = layout;
+
+        std::vector<size_t> counts;
+        const int           r = grid.haloRadius();
+        for (int d = 0; d < grid.devCount(); ++d) {
+            const auto& p = grid.part(d);
+            counts.push_back(static_cast<size_t>(grid.dim().x) *
+                             static_cast<size_t>(grid.dim().y) *
+                             static_cast<size_t>(p.zCount + 2 * r) *
+                             static_cast<size_t>(cardinality));
+        }
+        mImpl->data = set::MemSet<T>(grid.backend(), mImpl->name, counts);
+        mImpl->halo = std::make_shared<HaloImpl>(mImpl->data, grid, mImpl->name, cardinality,
+                                                 layout);
+        if (!grid.backend().isDryRun()) {
+            fillHost(outsideValue);
+            updateDev();
+        }
+    }
+
+    [[nodiscard]] bool valid() const { return mImpl != nullptr; }
+
+    // --- Loader/data interface --------------------------------------------
+    [[nodiscard]] uint64_t           uid() const { return mImpl->data.uid(); }
+    [[nodiscard]] const std::string& name() const { return mImpl->name; }
+    [[nodiscard]] double bytesPerItem(Compute = Compute::MAP) const
+    {
+        return sizeof(T) * static_cast<double>(mImpl->card);
+    }
+    [[nodiscard]] std::shared_ptr<const set::HaloOps> haloOps() const { return mImpl->halo; }
+
+    [[nodiscard]] Partition getPartition(int dev, DataView /*view*/ = DataView::STANDARD) const
+    {
+        const auto& p = mImpl->grid.part(dev);
+        Partition   part;
+        part.mem = mImpl->data.rawDev(dev);
+        part.dimX = mImpl->grid.dim().x;
+        part.dimY = mImpl->grid.dim().y;
+        part.zCount = p.zCount;
+        part.haloR = mImpl->grid.haloRadius();
+        part.zAlloc = p.zCount + 2 * part.haloR;
+        part.card = mImpl->card;
+        part.zOrigin = p.zOrigin;
+        part.globalZ = mImpl->grid.dim().z;
+        part.layout = mImpl->layout;
+        part.outside = mImpl->outside;
+        return part;
+    }
+
+    // --- host-side access ---------------------------------------------------
+    /// Reference into the host mirror at a global coordinate.
+    [[nodiscard]] T& hRef(const index_3d& g, int32_t c = 0) const
+    {
+        const int dev = devOfZ(g.z);
+        const auto& p = mImpl->grid.part(dev);
+        const auto  part = hostPartition(dev);
+        return mImpl->data.rawHost(dev)[part.bufIdx(g.x, g.y, g.z - p.zOrigin + part.haloR, c)];
+    }
+
+    [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
+
+    /// Visit every (cell, component) of the host mirror.
+    template <typename Fn>  // fn(const index_3d&, int card, T&)
+    void forEachHost(Fn&& fn) const
+    {
+        mImpl->grid.dim().forEach([&](const index_3d& g) {
+            for (int32_t c = 0; c < mImpl->card; ++c) {
+                fn(g, c, hRef(g, c));
+            }
+        });
+    }
+
+    /// Grid-generic alias (every dense cell is active); lets code templated
+    /// over DField/EField use one name.
+    template <typename Fn>
+    void forEachActiveHost(Fn&& fn) const
+    {
+        forEachHost(std::forward<Fn>(fn));
+    }
+
+    void fillHost(T v) const
+    {
+        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
+            T*           ptr = mImpl->data.rawHost(d);
+            const size_t n = mImpl->data.count(d);
+            std::fill(ptr, ptr + n, v);
+        }
+    }
+
+    /// Host mirror -> device buffers (synchronous, init-time).
+    void updateDev() const { mImpl->data.updateDev(); }
+    /// Device buffers -> host mirror (synchronous).
+    void updateHost() const { mImpl->data.updateHost(); }
+
+    [[nodiscard]] const DGrid& grid() const { return mImpl->grid; }
+    [[nodiscard]] int          cardinality() const { return mImpl->card; }
+    [[nodiscard]] MemLayout    layout() const { return mImpl->layout; }
+    [[nodiscard]] T            outsideValue() const { return mImpl->outside; }
+
+    /// Total device bytes held by this field (all partitions).
+    [[nodiscard]] size_t allocatedBytes() const { return mImpl->data.totalCount() * sizeof(T); }
+
+   private:
+    struct Impl
+    {
+        DGrid                     grid;
+        std::string               name;
+        int                       card = 1;
+        T                         outside = T{};
+        MemLayout                 layout = MemLayout::structOfArrays;
+        set::MemSet<T>            data;
+        std::shared_ptr<set::HaloOps> halo;
+    };
+
+    /// HaloOps implementation: sends this device's boundary planes into the
+    /// neighbours' halo planes (explicit-transfer coherency, paper §IV-C2).
+    /// Holds value copies of the shared handles (not the field Impl) so the
+    /// access records it travels in keep the buffers alive without a cycle.
+    class HaloImpl final : public set::HaloOps
+    {
+       public:
+        HaloImpl(set::MemSet<T> data, DGrid grid, std::string name, int card, MemLayout layout)
+            : mData(std::move(data)),
+              mGrid(std::move(grid)),
+              mName(std::move(name)),
+              mCard(card),
+              mLayout(layout)
+        {
+        }
+
+        void enqueueHaloSend(int dev, sys::Stream& stream) const override
+        {
+            const DGrid& grid = mGrid;
+            const int    r = grid.haloRadius();
+            const auto&  p = grid.part(dev);
+            const size_t planeElems =
+                static_cast<size_t>(grid.dim().x) * static_cast<size_t>(grid.dim().y);
+
+            sys::TransferOp op;
+            op.name = "halo(" + mName + ")";
+
+            auto addChunks = [&](int nbr, int direction, int32_t zbSrc, int32_t zbDst) {
+                T* src = mData.rawDev(dev);
+                T* dst = mData.rawDev(nbr);
+                const auto& pn = grid.part(nbr);
+                const int32_t zAllocSrc = p.zCount + 2 * r;
+                const int32_t zAllocDst = pn.zCount + 2 * r;
+                if (mLayout == MemLayout::structOfArrays) {
+                    for (int32_t c = 0; c < mCard; ++c) {
+                        const size_t so =
+                            (static_cast<size_t>(c) * zAllocSrc + static_cast<size_t>(zbSrc)) *
+                            planeElems;
+                        const size_t do_ =
+                            (static_cast<size_t>(c) * zAllocDst + static_cast<size_t>(zbDst)) *
+                            planeElems;
+                        const size_t len = planeElems * static_cast<size_t>(r);
+                        op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
+                                                 std::copy_n(src + so, len, dst + do_);
+                                             }});
+                    }
+                } else {
+                    const size_t rowElems = planeElems * static_cast<size_t>(mCard);
+                    const size_t so = static_cast<size_t>(zbSrc) * rowElems;
+                    const size_t do_ = static_cast<size_t>(zbDst) * rowElems;
+                    const size_t len = rowElems * static_cast<size_t>(r);
+                    op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
+                                             std::copy_n(src + so, len, dst + do_);
+                                         }});
+                }
+            };
+
+            if (p.hasHigh) {
+                // Owned top r planes -> (dev+1)'s low halo [0, r).
+                addChunks(dev + 1, 1, r + p.zCount - r, 0);
+            }
+            if (p.hasLow) {
+                // Owned bottom r planes -> (dev-1)'s high halo.
+                const auto& pn = grid.part(dev - 1);
+                addChunks(dev - 1, 0, r, r + pn.zCount);
+            }
+            if (!op.chunks.empty()) {
+                stream.transfer(std::move(op));
+            }
+        }
+
+        [[nodiscard]] uint64_t    uid() const override { return mData.uid(); }
+        [[nodiscard]] std::string name() const override { return mName; }
+        [[nodiscard]] int         devCount() const override { return mGrid.devCount(); }
+
+       private:
+        set::MemSet<T> mData;
+        DGrid          mGrid;
+        std::string    mName;
+        int            mCard = 1;
+        MemLayout      mLayout = MemLayout::structOfArrays;
+    };
+
+    [[nodiscard]] int devOfZ(int32_t z) const
+    {
+        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
+            const auto& p = mImpl->grid.part(d);
+            if (z >= p.zOrigin && z < p.zOrigin + p.zCount) {
+                return d;
+            }
+        }
+        throw NeonException("z coordinate outside the grid");
+    }
+
+    /// Partition descriptor pointing at the host mirror (indexing only).
+    [[nodiscard]] Partition hostPartition(int dev) const
+    {
+        Partition part = getPartition(dev);
+        part.mem = nullptr;  // callers index via bufIdx against rawHost
+        return part;
+    }
+
+    std::shared_ptr<Impl> mImpl;
+};
+
+template <typename T>
+DField<T> DGrid::newField(std::string name, int cardinality, T outsideValue,
+                          MemLayout layout) const
+{
+    return DField<T>(*this, std::move(name), cardinality, outsideValue, layout);
+}
+
+}  // namespace neon::dgrid

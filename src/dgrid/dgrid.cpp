@@ -1,0 +1,97 @@
+#include "dgrid/dgrid.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace neon::dgrid {
+
+std::vector<int32_t> splitBalanced(int32_t total, int nDev)
+{
+    NEON_CHECK(total >= nDev, "domain z-extent must be >= device count");
+    std::vector<int32_t> counts(static_cast<size_t>(nDev), total / nDev);
+    for (int i = 0; i < total % nDev; ++i) {
+        ++counts[static_cast<size_t>(i)];
+    }
+    return counts;
+}
+
+DGrid::DGrid(set::Backend backend, index_3d dim, Stencil stencil)
+    : mImpl(std::make_shared<Impl>())
+{
+    NEON_CHECK(dim.x > 0 && dim.y > 0 && dim.z > 0, "grid dimensions must be positive");
+    mImpl->backend = std::move(backend);
+    mImpl->dim = dim;
+    mImpl->stencil = std::move(stencil);
+    mImpl->haloRadius = std::max(1, mImpl->stencil.zRadius());
+
+    const int  nDev = mImpl->backend.devCount();
+    const auto counts = splitBalanced(dim.z, nDev);
+    int32_t    origin = 0;
+    const int  r = mImpl->haloRadius;
+    for (int d = 0; d < nDev; ++d) {
+        PartInfo p;
+        p.zOrigin = origin;
+        p.zCount = counts[static_cast<size_t>(d)];
+        p.hasLow = d > 0;
+        p.hasHigh = d < nDev - 1;
+        // Boundary slabs: cells whose stencil reaches a neighbour partition.
+        p.bLow = p.hasLow ? std::min(r, p.zCount) : 0;
+        p.bHigh = p.hasHigh ? std::min(r, p.zCount - p.bLow) : 0;
+        mImpl->parts.push_back(p);
+        origin += p.zCount;
+    }
+}
+
+DSpan DGrid::span(int dev, DataView view) const
+{
+    const PartInfo& p = part(dev);
+    switch (view) {
+        case DataView::STANDARD:
+            return DSpan(mImpl->dim.x, mImpl->dim.y, {0, p.zCount});
+        case DataView::INTERNAL:
+            return DSpan(mImpl->dim.x, mImpl->dim.y, {p.bLow, p.zCount - p.bLow - p.bHigh});
+        case DataView::BOUNDARY:
+            return DSpan(mImpl->dim.x, mImpl->dim.y, {0, p.bLow},
+                         {p.zCount - p.bHigh, p.bHigh});
+    }
+    return {};
+}
+
+int DGrid::devCount() const
+{
+    return mImpl->backend.devCount();
+}
+
+const index_3d& DGrid::dim() const
+{
+    return mImpl->dim;
+}
+
+const Stencil& DGrid::stencil() const
+{
+    return mImpl->stencil;
+}
+
+int DGrid::haloRadius() const
+{
+    return mImpl->haloRadius;
+}
+
+const DGrid::PartInfo& DGrid::part(int dev) const
+{
+    NEON_CHECK(dev >= 0 && dev < devCount(), "device index out of range");
+    return mImpl->parts[static_cast<size_t>(dev)];
+}
+
+set::Backend& DGrid::backend() const
+{
+    return mImpl->backend;
+}
+
+size_t DGrid::cellCount() const
+{
+    return mImpl->dim.size();
+}
+
+}  // namespace neon::dgrid

@@ -1,0 +1,155 @@
+#pragma once
+// DGrid: dense Cartesian grid partitioned across devices along z
+// (paper §IV-C: "both Grids decompose the Cartesian domain only on one
+// dimension so that each GPU communicates only with two other neighbour
+// GPUs").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index3d.hpp"
+#include "core/stencil.hpp"
+#include "core/types.hpp"
+#include "set/backend.hpp"
+#include "set/container.hpp"
+
+namespace neon::dgrid {
+
+/// Local cell coordinate inside one partition: x/y global, z in [0, zCount).
+struct DCell
+{
+    int32_t x = 0;
+    int32_t y = 0;
+    int32_t z = 0;
+};
+
+/// The iteration space of one (device, DataView) pair: full x/y extent and
+/// up to two z ranges (the BOUNDARY view is the union of the low and high
+/// slabs, paper Fig. 3).
+class DSpan
+{
+   public:
+    struct ZRange
+    {
+        int32_t first = 0;
+        int32_t count = 0;
+    };
+
+    DSpan() = default;
+    DSpan(int32_t dimX, int32_t dimY, ZRange r0, ZRange r1 = {0, 0})
+        : mDimX(dimX), mDimY(dimY), mR0(r0), mR1(r1)
+    {
+    }
+
+    [[nodiscard]] size_t count() const
+    {
+        return static_cast<size_t>(mDimX) * static_cast<size_t>(mDimY) *
+               static_cast<size_t>(mR0.count + mR1.count);
+    }
+
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        forRange(mR0, fn);
+        forRange(mR1, fn);
+    }
+
+   private:
+    template <typename Fn>
+    void forRange(const ZRange& r, Fn&& fn) const
+    {
+        for (int32_t z = r.first; z < r.first + r.count; ++z) {
+            for (int32_t y = 0; y < mDimY; ++y) {
+                for (int32_t x = 0; x < mDimX; ++x) {
+                    fn(DCell{x, y, z});
+                }
+            }
+        }
+    }
+
+    int32_t mDimX = 0;
+    int32_t mDimY = 0;
+    ZRange  mR0;
+    ZRange  mR1;
+};
+
+template <typename T>
+class DField;
+
+class DGrid
+{
+   public:
+    using Cell = DCell;
+    using Span = DSpan;
+    /// Grid-generic field alias: `typename Grid::template FieldType<T>`.
+    template <typename T>
+    using FieldType = DField<T>;
+
+    /// Per-device slab of the z-decomposition.
+    struct PartInfo
+    {
+        int32_t zOrigin = 0;   ///< global z of local z=0
+        int32_t zCount = 0;    ///< owned planes
+        int32_t bLow = 0;      ///< boundary planes adjacent to the lower neighbour
+        int32_t bHigh = 0;     ///< boundary planes adjacent to the upper neighbour
+        bool    hasLow = false;
+        bool    hasHigh = false;
+    };
+
+    DGrid() = default;
+    /// Build a grid over `dim` cells; `stencil` (the union of all stencils
+    /// the application uses) determines the halo radius and the
+    /// internal/boundary classification.
+    DGrid(set::Backend backend, index_3d dim, Stencil stencil = Stencil::laplace7());
+    /// Convenience: register several stencils; the grid uses their union
+    /// (paper §IV-C2: "the size of the halos are computed based on the
+    /// union of all the stencils").
+    DGrid(set::Backend backend, index_3d dim, const std::vector<Stencil>& stencils)
+        : DGrid(std::move(backend), dim, Stencil::unionOf(stencils))
+    {
+    }
+
+    template <typename T>
+    [[nodiscard]] DField<T> newField(std::string name, int cardinality, T outsideValue,
+                                     MemLayout layout = MemLayout::structOfArrays) const;
+
+    /// Wrap a loading lambda into a Container bound to this grid.
+    template <typename LoadingLambda>
+    [[nodiscard]] set::Container newContainer(std::string name, LoadingLambda&& fn) const
+    {
+        return set::Container::factory(std::move(name), *this, std::forward<LoadingLambda>(fn));
+    }
+
+    [[nodiscard]] DSpan span(int dev, DataView view) const;
+
+    [[nodiscard]] int             devCount() const;
+    [[nodiscard]] const index_3d& dim() const;
+    [[nodiscard]] const Stencil&  stencil() const;
+    [[nodiscard]] int             haloRadius() const;
+    [[nodiscard]] const PartInfo& part(int dev) const;
+    [[nodiscard]] set::Backend&   backend() const;
+    [[nodiscard]] size_t          cellCount() const;
+    [[nodiscard]] bool            valid() const { return mImpl != nullptr; }
+    /// Grid-generic activity query (every dense cell is active).
+    [[nodiscard]] bool isActive(const index_3d& g) const { return dim().contains(g); }
+
+   private:
+    struct Impl
+    {
+        set::Backend          backend;
+        index_3d              dim;
+        Stencil               stencil;
+        int                   haloRadius = 0;
+        std::vector<PartInfo> parts;
+    };
+    std::shared_ptr<Impl> mImpl;
+
+    template <typename T>
+    friend class DField;
+};
+
+/// Balanced 1-D decomposition of `total` planes over `nDev` devices.
+std::vector<int32_t> splitBalanced(int32_t total, int nDev);
+
+}  // namespace neon::dgrid

@@ -1,0 +1,316 @@
+#pragma once
+// EField<T>: metadata over an EGrid. Neighbour access goes through the
+// grid's connectivity table; the extra index bytes are charged to the cost
+// model, which is exactly the dense/sparse trade-off the paper's Fig. 9
+// explores.
+
+#include <memory>
+#include <string>
+
+#include "core/error.hpp"
+#include "egrid/egrid.hpp"
+#include "set/memset.hpp"
+
+namespace neon::egrid {
+
+template <typename T>
+struct EPartition
+{
+    T*              mem = nullptr;
+    int32_t         nLocal = 0;  ///< owned + ghost cells
+    int32_t         nOwned = 0;
+    int32_t         card = 1;
+    MemLayout       layout = MemLayout::structOfArrays;
+    T               outside = T{};
+    const int32_t*  conn = nullptr;  ///< [point][ownedCell]
+    int32_t         nPoints = 0;
+    const int16_t*  lut = nullptr;  ///< offset -> point slot
+    int32_t         lutR = 1;
+    const index_3d* coords = nullptr;
+
+    [[nodiscard]] size_t bufIdx(int32_t cell, int32_t c) const
+    {
+        if (layout == MemLayout::structOfArrays) {
+            return static_cast<size_t>(c) * static_cast<size_t>(nLocal) +
+                   static_cast<size_t>(cell);
+        }
+        return static_cast<size_t>(cell) * static_cast<size_t>(card) + static_cast<size_t>(c);
+    }
+
+    [[nodiscard]] T& operator()(const ECell& cell, int32_t c = 0)
+    {
+        return mem[bufIdx(cell.idx, c)];
+    }
+    [[nodiscard]] const T& operator()(const ECell& cell, int32_t c = 0) const
+    {
+        return mem[bufIdx(cell.idx, c)];
+    }
+
+    struct NghData
+    {
+        T    value{};
+        bool isValid = false;
+    };
+
+    /// Neighbour by stencil-point slot (fast path: one table lookup).
+    [[nodiscard]] NghData nghDataSlot(const ECell& cell, int32_t slot, int32_t c = 0) const
+    {
+        const int32_t j =
+            conn[static_cast<size_t>(slot) * static_cast<size_t>(nOwned) +
+                 static_cast<size_t>(cell.idx)];
+        if (j < 0) {
+            return {outside, false};
+        }
+        return {mem[bufIdx(j, c)], true};
+    }
+
+    /// Neighbour by 3-D offset: resolved to a slot via the grid's LUT so the
+    /// same user code runs on DGrid and EGrid (paper §IV: "the same user
+    /// code to operate on a variety of data structures").
+    [[nodiscard]] NghData nghData(const ECell& cell, const index_3d& offset, int32_t c = 0) const
+    {
+        if (offset.x < -lutR || offset.x > lutR || offset.y < -lutR || offset.y > lutR ||
+            offset.z < -lutR || offset.z > lutR) {
+            return {outside, false};
+        }
+        const size_t w = 2 * static_cast<size_t>(lutR) + 1;
+        const size_t li =
+            (static_cast<size_t>(offset.z + lutR) * w + static_cast<size_t>(offset.y + lutR)) * w +
+            static_cast<size_t>(offset.x + lutR);
+        const int16_t slot = lut[li];
+        if (slot < 0) {
+            return {outside, false};
+        }
+        return nghDataSlot(cell, slot, c);
+    }
+
+    [[nodiscard]] T nghVal(const ECell& cell, const index_3d& offset, int32_t c = 0) const
+    {
+        return nghData(cell, offset, c).value;
+    }
+
+    /// Interface parity with DPartition::nghValUnchecked. On the sparse
+    /// grid the connectivity lookup *is* the validity test, so nothing can
+    /// be skipped; still resolves through the table.
+    [[nodiscard]] T nghValUnchecked(const ECell& cell, const index_3d& offset,
+                                    int32_t c = 0) const
+    {
+        return nghData(cell, offset, c).value;
+    }
+
+    [[nodiscard]] index_3d globalIdx(const ECell& cell) const { return coords[cell.idx]; }
+
+    [[nodiscard]] int32_t cardinality() const { return card; }
+};
+
+template <typename T>
+class EField
+{
+   public:
+    using Partition = EPartition<T>;
+
+    EField() = default;
+
+    EField(const EGrid& grid, std::string name, int cardinality, T outsideValue, MemLayout layout)
+        : mImpl(std::make_shared<Impl>())
+    {
+        NEON_CHECK(cardinality >= 1, "cardinality must be >= 1");
+        mImpl->grid = grid;
+        mImpl->name = std::move(name);
+        mImpl->card = cardinality;
+        mImpl->outside = outsideValue;
+        mImpl->layout = layout;
+
+        std::vector<size_t> counts;
+        for (int d = 0; d < grid.devCount(); ++d) {
+            counts.push_back(static_cast<size_t>(grid.part(d).nLocal()) *
+                             static_cast<size_t>(cardinality));
+        }
+        mImpl->data = set::MemSet<T>(grid.backend(), mImpl->name, counts);
+        mImpl->halo = std::make_shared<HaloImpl>(mImpl->data, grid, mImpl->name, cardinality,
+                                                 layout);
+        if (!grid.backend().isDryRun()) {
+            fillHost(outsideValue);
+            updateDev();
+        }
+    }
+
+    [[nodiscard]] bool valid() const { return mImpl != nullptr; }
+
+    // --- Loader/data interface --------------------------------------------
+    [[nodiscard]] uint64_t           uid() const { return mImpl->data.uid(); }
+    [[nodiscard]] const std::string& name() const { return mImpl->name; }
+    [[nodiscard]] double bytesPerItem(Compute compute = Compute::MAP) const
+    {
+        double bytes = sizeof(T) * static_cast<double>(mImpl->card);
+        if (compute == Compute::STENCIL) {
+            // Connectivity-table reads: the sparse representation's price.
+            bytes += 4.0 * mImpl->grid.stencilPointCount();
+        }
+        return bytes;
+    }
+    [[nodiscard]] std::shared_ptr<const set::HaloOps> haloOps() const { return mImpl->halo; }
+
+    [[nodiscard]] Partition getPartition(int dev, DataView /*view*/ = DataView::STANDARD) const
+    {
+        const auto& grid = mImpl->grid;
+        const auto& p = grid.part(dev);
+        Partition   part;
+        part.mem = mImpl->data.rawDev(dev);
+        part.nLocal = p.nLocal();
+        part.nOwned = p.nOwned;
+        part.card = mImpl->card;
+        part.layout = mImpl->layout;
+        part.outside = mImpl->outside;
+        part.conn = grid.connectivity().rawDev(dev);
+        part.nPoints = grid.stencilPointCount();
+        part.lut = grid.offsetLut().rawDev(dev);
+        part.lutR = grid.lutRadius();
+        part.coords = grid.coords().rawDev(dev);
+        return part;
+    }
+
+    // --- host-side access ---------------------------------------------------
+    [[nodiscard]] T& hRef(const index_3d& g, int32_t c = 0) const
+    {
+        auto [dev, idx] = mImpl->grid.localOf(g);
+        NEON_CHECK(dev >= 0, "hRef on an inactive cell");
+        Partition p = getPartition(dev);
+        return mImpl->data.rawHost(dev)[p.bufIdx(idx, c)];
+    }
+
+    [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
+
+    /// Visit every (active cell, component) of the host mirror.
+    template <typename Fn>  // fn(const index_3d&, int card, T&)
+    void forEachActiveHost(Fn&& fn) const
+    {
+        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
+            const auto&     p = mImpl->grid.part(d);
+            const index_3d* coords = mImpl->grid.coords().rawHost(d);
+            Partition       part = getPartition(d);
+            T*              host = mImpl->data.rawHost(d);
+            for (int32_t i = 0; i < p.nOwned; ++i) {
+                for (int32_t c = 0; c < mImpl->card; ++c) {
+                    fn(coords[i], c, host[part.bufIdx(i, c)]);
+                }
+            }
+        }
+    }
+
+    void fillHost(T v) const
+    {
+        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
+            T*           ptr = mImpl->data.rawHost(d);
+            const size_t n = mImpl->data.count(d);
+            std::fill(ptr, ptr + n, v);
+        }
+    }
+
+    void updateDev() const { mImpl->data.updateDev(); }
+    void updateHost() const { mImpl->data.updateHost(); }
+
+    [[nodiscard]] const EGrid& grid() const { return mImpl->grid; }
+    [[nodiscard]] int          cardinality() const { return mImpl->card; }
+    [[nodiscard]] MemLayout    layout() const { return mImpl->layout; }
+    [[nodiscard]] T            outsideValue() const { return mImpl->outside; }
+
+    [[nodiscard]] size_t allocatedBytes() const { return mImpl->data.totalCount() * sizeof(T); }
+
+   private:
+    struct Impl
+    {
+        EGrid                         grid;
+        std::string                   name;
+        int                           card = 1;
+        T                             outside = T{};
+        MemLayout                     layout = MemLayout::structOfArrays;
+        set::MemSet<T>                data;
+        std::shared_ptr<set::HaloOps> halo;
+    };
+
+    class HaloImpl final : public set::HaloOps
+    {
+       public:
+        HaloImpl(set::MemSet<T> data, EGrid grid, std::string name, int card, MemLayout layout)
+            : mData(std::move(data)),
+              mGrid(std::move(grid)),
+              mName(std::move(name)),
+              mCard(card),
+              mLayout(layout)
+        {
+        }
+
+        void enqueueHaloSend(int dev, sys::Stream& stream) const override
+        {
+            const auto& p = mGrid.part(dev);
+            sys::TransferOp op;
+            op.name = "halo(" + mName + ")";
+
+            auto addChunks = [&](int nbr, int direction, int32_t srcFirst, int32_t dstFirst,
+                                 int32_t cells) {
+                if (cells == 0) {
+                    return;
+                }
+                T*          src = mData.rawDev(dev);
+                T*          dst = mData.rawDev(nbr);
+                const auto& pn = mGrid.part(nbr);
+                if (mLayout == MemLayout::structOfArrays) {
+                    for (int32_t c = 0; c < mCard; ++c) {
+                        const size_t so = static_cast<size_t>(c) * p.nLocal() +
+                                          static_cast<size_t>(srcFirst);
+                        const size_t do_ = static_cast<size_t>(c) * pn.nLocal() +
+                                           static_cast<size_t>(dstFirst);
+                        const size_t len = static_cast<size_t>(cells);
+                        op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
+                                                 std::copy_n(src + so, len, dst + do_);
+                                             }});
+                    }
+                } else {
+                    const size_t so = static_cast<size_t>(srcFirst) * mCard;
+                    const size_t do_ = static_cast<size_t>(dstFirst) * mCard;
+                    const size_t len = static_cast<size_t>(cells) * mCard;
+                    op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
+                                             std::copy_n(src + so, len, dst + do_);
+                                         }});
+                }
+            };
+
+            if (dev < mGrid.devCount() - 1) {
+                // Own boundary-high segment -> (dev+1)'s ghost-low range.
+                const auto& pn = mGrid.part(dev + 1);
+                addChunks(dev + 1, 1, p.nOwned - p.nBdrHigh, pn.nOwned, p.nBdrHigh);
+            }
+            if (dev > 0) {
+                // Own boundary-low segment -> (dev-1)'s ghost-high range.
+                const auto& pn = mGrid.part(dev - 1);
+                addChunks(dev - 1, 0, 0, pn.nOwned + pn.nGhostLow, p.nBdrLow);
+            }
+            if (!op.chunks.empty()) {
+                stream.transfer(std::move(op));
+            }
+        }
+
+        [[nodiscard]] uint64_t    uid() const override { return mData.uid(); }
+        [[nodiscard]] std::string name() const override { return mName; }
+        [[nodiscard]] int         devCount() const override { return mGrid.devCount(); }
+
+       private:
+        set::MemSet<T> mData;
+        EGrid          mGrid;
+        std::string    mName;
+        int            mCard = 1;
+        MemLayout      mLayout = MemLayout::structOfArrays;
+    };
+
+    std::shared_ptr<Impl> mImpl;
+};
+
+template <typename T>
+EField<T> EGrid::newField(std::string name, int cardinality, T outsideValue,
+                          MemLayout layout) const
+{
+    return EField<T>(*this, std::move(name), cardinality, outsideValue, layout);
+}
+
+}  // namespace neon::egrid

@@ -1,0 +1,342 @@
+#include "egrid/egrid.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace neon::egrid {
+
+struct EGrid::Impl
+{
+    set::Backend backend;
+    index_3d     dim;
+    Stencil      stencil;
+    int          haloRadius = 1;
+    int          lutR = 1;
+    size_t       totalActive = 0;
+
+    std::vector<PartInfo> parts;
+
+    set::MemSet<int32_t>  conn;    ///< [point][ownedCell] per device
+    set::MemSet<index_3d> coords;  ///< global coordinate per local cell (owned+ghost)
+    set::MemSet<int16_t>  lut;     ///< offset -> stencil point slot
+
+    /// Host-side global -> (dev, owned local index); empty in dry-run.
+    /// Encoded as dev * 2^40 + idx + 1; 0 means inactive.
+    std::vector<uint64_t> hostLocal;
+
+    [[nodiscard]] size_t lutSize() const
+    {
+        const size_t w = 2 * static_cast<size_t>(lutR) + 1;
+        return w * w * w;
+    }
+
+    [[nodiscard]] size_t lutIdx(const index_3d& off) const
+    {
+        const size_t w = 2 * static_cast<size_t>(lutR) + 1;
+        return (static_cast<size_t>(off.z + lutR) * w + static_cast<size_t>(off.y + lutR)) * w +
+               static_cast<size_t>(off.x + lutR);
+    }
+};
+
+EGrid::EGrid(set::Backend backend, index_3d dim,
+             const std::function<bool(const index_3d&)>& active, Stencil stencil)
+    : mImpl(std::make_shared<Impl>())
+{
+    NEON_CHECK(dim.x > 0 && dim.y > 0 && dim.z > 0, "grid dimensions must be positive");
+    Impl& g = *mImpl;
+    g.backend = std::move(backend);
+    g.dim = dim;
+    g.stencil = std::move(stencil);
+    g.haloRadius = std::max(1, g.stencil.zRadius());
+    g.lutR = std::max(1, g.stencil.radius());
+
+    const int  nDev = g.backend.devCount();
+    const int  r = g.haloRadius;
+    const bool dry = g.backend.isDryRun();
+
+    // Pass 1: active cells per z-plane (cheap even at paper-scale sizes).
+    std::vector<size_t> perPlane(static_cast<size_t>(dim.z), 0);
+    for (int32_t z = 0; z < dim.z; ++z) {
+        for (int32_t y = 0; y < dim.y; ++y) {
+            for (int32_t x = 0; x < dim.x; ++x) {
+                if (active({x, y, z})) {
+                    ++perPlane[static_cast<size_t>(z)];
+                }
+            }
+        }
+        g.totalActive += perPlane[static_cast<size_t>(z)];
+    }
+
+    // Partition planes so active-cell counts are balanced (paper §IV:
+    // "optimized for load balance"). Greedy cut at ~total/nDev.
+    std::vector<int32_t> zFirst(static_cast<size_t>(nDev), 0);
+    std::vector<int32_t> zCount(static_cast<size_t>(nDev), 0);
+    {
+        NEON_CHECK(dim.z >= nDev * std::max(1, 2 * r),
+                   "egrid needs at least 2*haloRadius planes per device");
+        const double target = static_cast<double>(g.totalActive) / nDev;
+        int32_t      plane = 0;
+        for (int d = 0; d < nDev; ++d) {
+            zFirst[static_cast<size_t>(d)] = plane;
+            size_t        acc = 0;
+            const int32_t planesLeft = dim.z - plane;
+            const int     devsLeft = nDev - d;
+            int32_t       minPlanes = std::max(1, 2 * r);
+            int32_t       maxPlanes = planesLeft - (devsLeft - 1) * minPlanes;
+            int32_t       used = 0;
+            while (used < maxPlanes &&
+                   (used < minPlanes ||
+                    (d < nDev - 1 && static_cast<double>(acc) < target))) {
+                acc += perPlane[static_cast<size_t>(plane)];
+                ++plane;
+                ++used;
+            }
+            if (d == nDev - 1) {
+                plane = dim.z;
+                used = planesLeft;
+            }
+            zCount[static_cast<size_t>(d)] = used;
+        }
+    }
+
+    // Per-partition counts derived from plane counts (works in dry-run too).
+    g.parts.resize(static_cast<size_t>(nDev));
+    auto planesSum = [&](int32_t first, int32_t count) {
+        size_t s = 0;
+        for (int32_t z = first; z < first + count; ++z) {
+            s += perPlane[static_cast<size_t>(z)];
+        }
+        return static_cast<int32_t>(s);
+    };
+    for (int d = 0; d < nDev; ++d) {
+        PartInfo& p = g.parts[static_cast<size_t>(d)];
+        p.zFirst = zFirst[static_cast<size_t>(d)];
+        p.zCount = zCount[static_cast<size_t>(d)];
+        p.nOwned = planesSum(p.zFirst, p.zCount);
+        p.nBdrLow = d > 0 ? planesSum(p.zFirst, std::min(r, p.zCount)) : 0;
+        p.nBdrHigh =
+            d < nDev - 1 ? planesSum(p.zFirst + p.zCount - std::min(r, p.zCount), std::min(r, p.zCount)) : 0;
+        p.nGhostLow = d > 0 ? g.parts[static_cast<size_t>(d - 1)].nBdrHigh : 0;
+        // nGhostHigh needs the *next* partition's nBdrLow; fill in a second
+        // sweep below.
+    }
+    for (int d = 0; d < nDev; ++d) {
+        PartInfo& p = g.parts[static_cast<size_t>(d)];
+        if (d < nDev - 1) {
+            const PartInfo& pn = g.parts[static_cast<size_t>(d + 1)];
+            p.nGhostHigh = planesSum(pn.zFirst, std::min(r, pn.zCount));
+        }
+    }
+
+    // Allocate structure tables (fake allocations in dry-run: the bytes
+    // still count against device capacity, reproducing Fig. 9's OOM row).
+    const int nPts = g.stencil.pointCount();
+    {
+        std::vector<size_t> connCounts, coordCounts, lutCounts;
+        for (int d = 0; d < nDev; ++d) {
+            connCounts.push_back(static_cast<size_t>(g.parts[static_cast<size_t>(d)].nOwned) *
+                                 static_cast<size_t>(nPts));
+            coordCounts.push_back(static_cast<size_t>(g.parts[static_cast<size_t>(d)].nLocal()));
+            lutCounts.push_back(g.lutSize());
+        }
+        g.conn = set::MemSet<int32_t>(g.backend, "egrid.conn", connCounts);
+        g.coords = set::MemSet<index_3d>(g.backend, "egrid.coords", coordCounts);
+        g.lut = set::MemSet<int16_t>(g.backend, "egrid.lut", lutCounts);
+    }
+    if (dry) {
+        return;
+    }
+
+    // LUT: stencil offset -> point slot (-1 elsewhere).
+    for (int d = 0; d < nDev; ++d) {
+        int16_t* lutH = g.lut.rawHost(d);
+        std::fill(lutH, lutH + g.lutSize(), int16_t{-1});
+        for (int s = 0; s < nPts; ++s) {
+            lutH[g.lutIdx(g.stencil.points()[static_cast<size_t>(s)])] = static_cast<int16_t>(s);
+        }
+    }
+
+    // Pass 2: enumerate cells per partition in class order and build the
+    // host global->local map.
+    g.hostLocal.assign(dim.size(), 0);
+    auto hostKey = [&](const index_3d& c) { return dim.pitch(c); };
+
+    for (int d = 0; d < nDev; ++d) {
+        PartInfo& p = g.parts[static_cast<size_t>(d)];
+        index_3d* coordH = g.coords.rawHost(d);
+        int32_t   cursor = 0;
+        auto      emitRange = [&](int32_t zFrom, int32_t zTo) {
+            for (int32_t z = zFrom; z < zTo; ++z) {
+                for (int32_t y = 0; y < dim.y; ++y) {
+                    for (int32_t x = 0; x < dim.x; ++x) {
+                        const index_3d c{x, y, z};
+                        if (active(c)) {
+                            coordH[cursor] = c;
+                            g.hostLocal[hostKey(c)] =
+                                (static_cast<uint64_t>(d) << 40) + static_cast<uint64_t>(cursor) + 1;
+                            ++cursor;
+                        }
+                    }
+                }
+            }
+        };
+        auto emitGhostRange = [&](int32_t zFrom, int32_t zTo) {
+            // Ghost copies of neighbour cells: same (z,y,x) order as the
+            // sender's boundary segment, but not registered in hostLocal
+            // (the owner partition holds the authoritative copy).
+            for (int32_t z = zFrom; z < zTo; ++z) {
+                for (int32_t y = 0; y < dim.y; ++y) {
+                    for (int32_t x = 0; x < dim.x; ++x) {
+                        const index_3d c{x, y, z};
+                        if (active(c)) {
+                            coordH[cursor++] = c;
+                        }
+                    }
+                }
+            }
+        };
+        const int32_t lowEnd = p.zFirst + (d > 0 ? std::min(r, p.zCount) : 0);
+        const int32_t highBegin =
+            p.zFirst + p.zCount - (d < nDev - 1 ? std::min(r, p.zCount) : 0);
+        emitRange(p.zFirst, lowEnd);                   // boundary-low
+        emitRange(lowEnd, std::max(lowEnd, highBegin));  // internal
+        emitRange(highBegin, p.zFirst + p.zCount);     // boundary-high
+        NEON_CHECK(cursor == p.nOwned, "egrid enumeration mismatch");
+        // Ghosts: neighbours' boundary cells in the same (z,y,x) order.
+        if (d > 0) {
+            const PartInfo& pn = g.parts[static_cast<size_t>(d - 1)];
+            emitGhostRange(pn.zFirst + pn.zCount - std::min(r, pn.zCount), pn.zFirst + pn.zCount);
+        }
+        if (d < nDev - 1) {
+            const PartInfo& pn = g.parts[static_cast<size_t>(d + 1)];
+            emitGhostRange(pn.zFirst, pn.zFirst + std::min(r, pn.zCount));
+        }
+        NEON_CHECK(cursor == p.nLocal(), "egrid ghost enumeration mismatch");
+    }
+
+    // Pass 3: connectivity. A neighbour resolves to an owned or ghost local
+    // index of *this* partition, or -1 (inactive / outside / unreachable).
+    for (int d = 0; d < nDev; ++d) {
+        const PartInfo& p = g.parts[static_cast<size_t>(d)];
+        const index_3d* coordH = g.coords.rawHost(d);
+        int32_t*        connH = g.conn.rawHost(d);
+
+        // Local lookup: global pitch -> local idx for owned + ghosts.
+        std::unordered_map<size_t, int32_t> localIdx;
+        localIdx.reserve(static_cast<size_t>(p.nLocal()) * 2);
+        for (int32_t i = 0; i < p.nLocal(); ++i) {
+            localIdx.emplace(hostKey(coordH[i]), i);
+        }
+
+        for (int32_t i = 0; i < p.nOwned; ++i) {
+            const index_3d c = coordH[i];
+            for (int s = 0; s < nPts; ++s) {
+                const index_3d n = c + g.stencil.points()[static_cast<size_t>(s)];
+                int32_t        v = -1;
+                if (dim.contains(n)) {
+                    auto it = localIdx.find(hostKey(n));
+                    if (it != localIdx.end()) {
+                        v = it->second;
+                    }
+                }
+                connH[static_cast<size_t>(s) * static_cast<size_t>(p.nOwned) +
+                      static_cast<size_t>(i)] = v;
+            }
+        }
+    }
+
+    g.conn.updateDev();
+    g.coords.updateDev();
+    g.lut.updateDev();
+}
+
+ESpan EGrid::span(int dev, DataView view) const
+{
+    const PartInfo& p = part(dev);
+    switch (view) {
+        case DataView::STANDARD:
+            return ESpan({0, p.nOwned});
+        case DataView::INTERNAL:
+            return ESpan({p.nBdrLow, p.nOwned - p.nBdrLow - p.nBdrHigh});
+        case DataView::BOUNDARY:
+            return ESpan({0, p.nBdrLow}, {p.nOwned - p.nBdrHigh, p.nBdrHigh});
+    }
+    return {};
+}
+
+int EGrid::devCount() const
+{
+    return mImpl->backend.devCount();
+}
+
+const index_3d& EGrid::dim() const
+{
+    return mImpl->dim;
+}
+
+const Stencil& EGrid::stencil() const
+{
+    return mImpl->stencil;
+}
+
+const EGrid::PartInfo& EGrid::part(int dev) const
+{
+    NEON_CHECK(dev >= 0 && dev < devCount(), "device index out of range");
+    return mImpl->parts[static_cast<size_t>(dev)];
+}
+
+set::Backend& EGrid::backend() const
+{
+    return mImpl->backend;
+}
+
+size_t EGrid::activeCount() const
+{
+    return mImpl->totalActive;
+}
+
+bool EGrid::isActive(const index_3d& g) const
+{
+    if (!mImpl->dim.contains(g) || mImpl->hostLocal.empty()) {
+        return false;
+    }
+    return mImpl->hostLocal[mImpl->dim.pitch(g)] != 0;
+}
+
+std::pair<int, int32_t> EGrid::localOf(const index_3d& g) const
+{
+    if (!isActive(g)) {
+        return {-1, -1};
+    }
+    const uint64_t v = mImpl->hostLocal[mImpl->dim.pitch(g)] - 1;
+    return {static_cast<int>(v >> 40), static_cast<int32_t>(v & ((1ull << 40) - 1))};
+}
+
+const set::MemSet<int32_t>& EGrid::connectivity() const
+{
+    return mImpl->conn;
+}
+
+const set::MemSet<index_3d>& EGrid::coords() const
+{
+    return mImpl->coords;
+}
+
+const set::MemSet<int16_t>& EGrid::offsetLut() const
+{
+    return mImpl->lut;
+}
+
+int EGrid::lutRadius() const
+{
+    return mImpl->lutR;
+}
+
+int EGrid::stencilPointCount() const
+{
+    return mImpl->stencil.pointCount();
+}
+
+}  // namespace neon::egrid

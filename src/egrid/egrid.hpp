@@ -1,0 +1,143 @@
+#pragma once
+// EGrid: element-sparse grid (paper §IV-C2). Only the cells of interest are
+// stored, together with a connectivity table mapping each cell and stencil
+// point to the neighbour's local index. Partitioning is 1-D along z, with
+// plane cuts chosen to balance the *active* cell count per device.
+//
+// Per-partition cell ordering (all in (z,y,x) order within each class):
+//   [boundary-low][internal][boundary-high][ghost-low][ghost-high]
+// so the segments sent by haloUpdate are contiguous: 2 transfers per device
+// for AoS fields, 2*cardinality for SoA — the same accounting as DGrid.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index3d.hpp"
+#include "core/stencil.hpp"
+#include "core/types.hpp"
+#include "set/backend.hpp"
+#include "set/container.hpp"
+#include "set/memset.hpp"
+
+namespace neon::egrid {
+
+/// Local cell handle: index into the partition's owned-cell range.
+struct ECell
+{
+    int32_t idx = 0;
+};
+
+/// Iteration space of one (device, view): up to two contiguous index ranges.
+class ESpan
+{
+   public:
+    struct Range
+    {
+        int32_t first = 0;
+        int32_t count = 0;
+    };
+
+    ESpan() = default;
+    ESpan(Range r0, Range r1 = {0, 0}) : mR0(r0), mR1(r1) {}
+
+    [[nodiscard]] size_t count() const
+    {
+        return static_cast<size_t>(mR0.count) + static_cast<size_t>(mR1.count);
+    }
+
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        for (int32_t i = mR0.first; i < mR0.first + mR0.count; ++i) {
+            fn(ECell{i});
+        }
+        for (int32_t i = mR1.first; i < mR1.first + mR1.count; ++i) {
+            fn(ECell{i});
+        }
+    }
+
+   private:
+    Range mR0;
+    Range mR1;
+};
+
+template <typename T>
+class EField;
+
+class EGrid
+{
+   public:
+    using Cell = ECell;
+    using Span = ESpan;
+    /// Grid-generic field alias: `typename Grid::template FieldType<T>`.
+    template <typename T>
+    using FieldType = EField<T>;
+
+    /// Per-device partition structure.
+    struct PartInfo
+    {
+        int32_t zFirst = 0;  ///< first global z-plane of this partition
+        int32_t zCount = 0;  ///< planes owned
+        int32_t nOwned = 0;
+        int32_t nBdrLow = 0;
+        int32_t nBdrHigh = 0;
+        int32_t nGhostLow = 0;
+        int32_t nGhostHigh = 0;
+
+        [[nodiscard]] int32_t nLocal() const { return nOwned + nGhostLow + nGhostHigh; }
+    };
+
+    EGrid() = default;
+    /// Build from an activity predicate over the bounding box `dim`.
+    EGrid(set::Backend backend, index_3d dim, const std::function<bool(const index_3d&)>& active,
+          Stencil stencil = Stencil::laplace7());
+    /// Convenience: register several stencils; the grid uses their union.
+    EGrid(set::Backend backend, index_3d dim, const std::function<bool(const index_3d&)>& active,
+          const std::vector<Stencil>& stencils)
+        : EGrid(std::move(backend), dim, active, Stencil::unionOf(stencils))
+    {
+    }
+
+    template <typename T>
+    [[nodiscard]] EField<T> newField(std::string name, int cardinality, T outsideValue,
+                                     MemLayout layout = MemLayout::structOfArrays) const;
+
+    template <typename LoadingLambda>
+    [[nodiscard]] set::Container newContainer(std::string name, LoadingLambda&& fn) const
+    {
+        return set::Container::factory(std::move(name), *this, std::forward<LoadingLambda>(fn));
+    }
+
+    [[nodiscard]] ESpan span(int dev, DataView view) const;
+
+    [[nodiscard]] int             devCount() const;
+    [[nodiscard]] const index_3d& dim() const;
+    [[nodiscard]] const Stencil&  stencil() const;
+    [[nodiscard]] const PartInfo& part(int dev) const;
+    [[nodiscard]] set::Backend&   backend() const;
+    [[nodiscard]] size_t          activeCount() const;
+    [[nodiscard]] bool            valid() const { return mImpl != nullptr; }
+
+    /// Host-side: is a global coordinate active? (false in dry-run mode)
+    [[nodiscard]] bool isActive(const index_3d& g) const;
+    /// Host-side: (device, owned local index) of an active cell, or (-1,-1).
+    [[nodiscard]] std::pair<int, int32_t> localOf(const index_3d& g) const;
+
+    // -- partition-local structure, exposed to EField / tests ---------------
+    [[nodiscard]] const set::MemSet<int32_t>&  connectivity() const;
+    [[nodiscard]] const set::MemSet<index_3d>& coords() const;
+    [[nodiscard]] const set::MemSet<int16_t>&  offsetLut() const;
+    [[nodiscard]] int                          lutRadius() const;
+    [[nodiscard]] int                          stencilPointCount() const;
+
+   private:
+    struct Impl;
+    std::shared_ptr<Impl> mImpl;
+
+    template <typename T>
+    friend class EField;
+};
+
+}  // namespace neon::egrid

@@ -1,0 +1,102 @@
+#include "fem/hex8.hpp"
+
+#include <cmath>
+
+namespace neon::fem {
+
+namespace {
+
+/// Shape-function gradient of node a at (xi, eta, zeta), in reference
+/// coordinates [-1, 1]^3.
+std::array<double, 3> shapeGrad(int a, double xi, double eta, double zeta)
+{
+    const auto   corner = hex8Corner(a);
+    const double sx = 2.0 * corner[0] - 1.0;
+    const double sy = 2.0 * corner[1] - 1.0;
+    const double sz = 2.0 * corner[2] - 1.0;
+    return {
+        0.125 * sx * (1.0 + sy * eta) * (1.0 + sz * zeta),
+        0.125 * sy * (1.0 + sx * xi) * (1.0 + sz * zeta),
+        0.125 * sz * (1.0 + sx * xi) * (1.0 + sy * eta),
+    };
+}
+
+}  // namespace
+
+ElementStiffness hex8Stiffness(const Material& material, double h)
+{
+    const double E = material.youngsModulus;
+    const double nu = material.poissonRatio;
+    const double lambda = E * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+    const double mu = E / (2.0 * (1.0 + nu));
+
+    // Isotropic elasticity matrix in Voigt order (xx, yy, zz, xy, yz, zx).
+    double D[6][6] = {};
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            D[i][j] = lambda;
+        }
+        D[i][i] = lambda + 2.0 * mu;
+        D[i + 3][i + 3] = mu;
+    }
+
+    ElementStiffness K{};
+    const double     gp = 1.0 / std::sqrt(3.0);
+    // Element Jacobian: x = h/2 (xi+1) => dN/dx = dN/dxi * 2/h,
+    // dV = (h/2)^3 dxi deta dzeta; Gauss weights are all 1.
+    const double gradScale = 2.0 / h;
+    const double detJ = (h / 2.0) * (h / 2.0) * (h / 2.0);
+
+    for (int gx = -1; gx <= 1; gx += 2) {
+        for (int gy = -1; gy <= 1; gy += 2) {
+            for (int gz = -1; gz <= 1; gz += 2) {
+                const double xi = gx * gp;
+                const double eta = gy * gp;
+                const double zeta = gz * gp;
+
+                // B matrix (6 x 24): strain = B * u_e.
+                double B[6][24] = {};
+                for (int a = 0; a < 8; ++a) {
+                    const auto g = shapeGrad(a, xi, eta, zeta);
+                    const double dx = g[0] * gradScale;
+                    const double dy = g[1] * gradScale;
+                    const double dz = g[2] * gradScale;
+                    const int c = 3 * a;
+                    B[0][c + 0] = dx;
+                    B[1][c + 1] = dy;
+                    B[2][c + 2] = dz;
+                    B[3][c + 0] = dy;  // xy
+                    B[3][c + 1] = dx;
+                    B[4][c + 1] = dz;  // yz
+                    B[4][c + 2] = dy;
+                    B[5][c + 0] = dz;  // zx
+                    B[5][c + 2] = dx;
+                }
+
+                // K += B^T D B * detJ.
+                double DB[6][24];
+                for (int i = 0; i < 6; ++i) {
+                    for (int j = 0; j < 24; ++j) {
+                        double s = 0.0;
+                        for (int k = 0; k < 6; ++k) {
+                            s += D[i][k] * B[k][j];
+                        }
+                        DB[i][j] = s;
+                    }
+                }
+                for (int i = 0; i < 24; ++i) {
+                    for (int j = 0; j < 24; ++j) {
+                        double s = 0.0;
+                        for (int k = 0; k < 6; ++k) {
+                            s += B[k][i] * DB[k][j];
+                        }
+                        K[static_cast<size_t>(i)][static_cast<size_t>(j)] += s * detJ;
+                    }
+                }
+            }
+        }
+    }
+    return K;
+}
+
+}  // namespace neon::fem

@@ -1,0 +1,30 @@
+#pragma once
+// 8-node hexahedral element stiffness for isotropic linear elasticity,
+// integrated with 2x2x2 Gauss quadrature on a cube element of side h
+// (the substrate of the paper's finite-element linear-elastic solver,
+// §VI-C).
+
+#include <array>
+
+namespace neon::fem {
+
+/// Material parameters (isotropic).
+struct Material
+{
+    double youngsModulus = 1.0;
+    double poissonRatio = 0.3;
+};
+
+/// 24x24 element stiffness; local node a = i + 2j + 4k for corner (i,j,k).
+using ElementStiffness = std::array<std::array<double, 24>, 24>;
+
+/// Compute the trilinear hex element stiffness for element size h.
+ElementStiffness hex8Stiffness(const Material& material, double h);
+
+/// Local corner coordinates of node a (each component 0 or 1).
+constexpr std::array<int, 3> hex8Corner(int a)
+{
+    return {a & 1, (a >> 1) & 1, (a >> 2) & 1};
+}
+
+}  // namespace neon::fem

@@ -1,0 +1,43 @@
+#include <cstring>
+
+#include "fem/elasticity.hpp"
+
+namespace neon::fem {
+
+NodeStencilTable::NodeStencilTable(const Material& material, double h)
+{
+    const ElementStiffness Ke = hex8Stiffness(material, h);
+    mBlocks.assign(256 * 27 * 9, 0.0);
+
+    // Contribution of incident element c (origin = node + cornerOrigin(c))
+    // to the coupling between the node and its neighbour at offset d:
+    //   Ke[local(node)][local(node + d)] where local(p) = p - origin.
+    for (int mask = 0; mask < 256; ++mask) {
+        for (int c = 0; c < 8; ++c) {
+            if ((mask & (1 << c)) == 0) {
+                continue;
+            }
+            const auto origin = cornerOrigin(c);
+            // The node's local corner within element c is -origin.
+            const int la = (-origin[0]) + 2 * (-origin[1]) + 4 * (-origin[2]);
+            for (int b = 0; b < 8; ++b) {
+                const auto kb = hex8Corner(b);
+                const int  dx = origin[0] + kb[0];
+                const int  dy = origin[1] + kb[1];
+                const int  dz = origin[2] + kb[2];
+                const int  slot = nghSlot(dx, dy, dz);
+                double*    blk =
+                    mBlocks.data() +
+                    ((static_cast<size_t>(mask) * 27 + static_cast<size_t>(slot)) * 9);
+                for (int r = 0; r < 3; ++r) {
+                    for (int s = 0; s < 3; ++s) {
+                        blk[r * 3 + s] += Ke[static_cast<size_t>(3 * la + r)]
+                                            [static_cast<size_t>(3 * b + s)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace neon::fem

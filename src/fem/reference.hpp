@@ -1,0 +1,99 @@
+#pragma once
+// Brute-force reference for the FEM tests: assembles the global stiffness
+// from elements directly (no 27-block table, no matrix-free machinery) and
+// applies it densely. Slow and simple — only for small grids in tests.
+
+#include <functional>
+#include <vector>
+
+#include "core/index3d.hpp"
+#include "fem/hex8.hpp"
+
+namespace neon::fem::reference {
+
+class DenseAssembly
+{
+   public:
+    /// `active(node)` defines the solid region over the node grid `dim`.
+    DenseAssembly(index_3d dim, const Material& material, double h,
+                  const std::function<bool(const index_3d&)>& active)
+        : mDim(dim), mActive(dim.size(), false)
+    {
+        dim.forEach([&](const index_3d& g) { mActive[dim.pitch(g)] = active(g); });
+        const auto Ke = hex8Stiffness(material, h);
+        const size_t n = dim.size() * 3;
+        mK.assign(n * n, 0.0);
+
+        // Elements: origin o with all 8 corner nodes active.
+        index_3d elems{dim.x - 1, dim.y - 1, dim.z - 1};
+        elems.forEach([&](const index_3d& o) {
+            for (int a = 0; a < 8; ++a) {
+                const auto ka = hex8Corner(a);
+                if (!isActive({o.x + ka[0], o.y + ka[1], o.z + ka[2]})) {
+                    return;
+                }
+            }
+            for (int a = 0; a < 8; ++a) {
+                const auto ka = hex8Corner(a);
+                const size_t ga = mDim.pitch({o.x + ka[0], o.y + ka[1], o.z + ka[2]});
+                for (int b = 0; b < 8; ++b) {
+                    const auto kb = hex8Corner(b);
+                    const size_t gb = mDim.pitch({o.x + kb[0], o.y + kb[1], o.z + kb[2]});
+                    for (int r = 0; r < 3; ++r) {
+                        for (int s = 0; s < 3; ++s) {
+                            mK[(ga * 3 + static_cast<size_t>(r)) * n +
+                               (gb * 3 + static_cast<size_t>(s))] +=
+                                Ke[static_cast<size_t>(3 * a + r)][static_cast<size_t>(3 * b + s)];
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    [[nodiscard]] bool isActive(const index_3d& g) const
+    {
+        return mDim.contains(g) && mActive[mDim.pitch(g)];
+    }
+
+    /// out = (P K P + (I-P)) u with P zeroing fixed (z == 0) and inactive
+    /// rows/columns — the same constrained operator as the Neon kernel.
+    void apply(const std::vector<double>& u, std::vector<double>& out) const
+    {
+        const size_t n = mDim.size() * 3;
+        out.assign(n, 0.0);
+        mDim.forEach([&](const index_3d& gi) {
+            const size_t i = mDim.pitch(gi);
+            const bool   constrainedRow = !mActive[i] || gi.z == 0;
+            for (int r = 0; r < 3; ++r) {
+                const size_t row = i * 3 + static_cast<size_t>(r);
+                if (constrainedRow) {
+                    out[row] = u[row];
+                    continue;
+                }
+                double acc = 0.0;
+                mDim.forEach([&](const index_3d& gj) {
+                    const size_t j = mDim.pitch(gj);
+                    if (!mActive[j] || gj.z == 0) {
+                        return;  // constrained column: u treated as 0
+                    }
+                    for (int s = 0; s < 3; ++s) {
+                        acc += mK[row * n + (j * 3 + static_cast<size_t>(s))] *
+                               u[j * 3 + static_cast<size_t>(s)];
+                    }
+                });
+                out[row] = acc;
+            }
+        });
+    }
+
+    [[nodiscard]] const std::vector<double>& matrix() const { return mK; }
+    [[nodiscard]] const index_3d&            dim() const { return mDim; }
+
+   private:
+    index_3d            mDim;
+    std::vector<bool>   mActive;
+    std::vector<double> mK;
+};
+
+}  // namespace neon::fem::reference

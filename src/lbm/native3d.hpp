@@ -1,0 +1,324 @@
+#pragma once
+// Hand-written flat-array D3Q19 baselines for the paper's Table II:
+//   - Fused      : "cuboltz-like" native code — raw SoA buffers, fused
+//                  collide+stream pull, inline index arithmetic.
+//   - TwoPopIdx  : "stlbm twoPop (C++ parallel algorithms)-like" — the same
+//                  physics but iterating a cell-index array through a
+//                  generic accessor, reproducing the indirection overhead
+//                  of the CPA formulation.
+//   - AA         : "stlbm AA-pattern-like" — single population buffer with
+//                  the Bailey AA addressing (even step: in-place collide
+//                  with reversed write; odd step: gather from neighbours,
+//                  scatter back).
+// All variants share lattice constants and the equilibrium with the Neon
+// solver, so results are directly comparable (exact for Fused/TwoPopIdx).
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/index3d.hpp"
+#include "lbm/lattice.hpp"
+
+namespace neon::lbm::native {
+
+enum class Variant : uint8_t
+{
+    Fused,      ///< cuboltz-like
+    TwoPopIdx,  ///< stlbm twoPop-like (indexed indirection)
+    AA,         ///< stlbm AA-pattern-like (single buffer)
+};
+
+enum class Boundary : uint8_t
+{
+    Cavity,    ///< half-way bounce-back walls + moving +z lid
+    Periodic,  ///< all faces periodic (used to validate the AA pattern)
+};
+
+template <typename Real = float>
+class NativeCavityD3Q19
+{
+   public:
+    NativeCavityD3Q19(index_3d dim, double tau, double lidVelocity, Variant variant,
+                      Boundary boundary = Boundary::Cavity)
+        : mDim(dim),
+          mCells(dim.size()),
+          mOmega(static_cast<Real>(1.0 / tau)),
+          mLidU(static_cast<Real>(lidVelocity)),
+          mVariant(variant),
+          mBoundary(boundary)
+    {
+        mF[0].assign(mCells * D3Q19::Q, Real(0));
+        if (variant != Variant::AA) {
+            mF[1].assign(mCells * D3Q19::Q, Real(0));
+        }
+        for (size_t x = 0; x < mCells; ++x) {
+            for (int i = 0; i < D3Q19::Q; ++i) {
+                mF[0][slot(x, i)] = equilibrium<D3Q19, Real>(i, 1, 0, 0, 0);
+                if (variant != Variant::AA) {
+                    mF[1][slot(x, i)] = mF[0][slot(x, i)];
+                }
+            }
+        }
+        if (variant == Variant::TwoPopIdx) {
+            mCellIndex.resize(mCells);
+            std::iota(mCellIndex.begin(), mCellIndex.end(), 0);
+        }
+    }
+
+    /// Deterministically perturb the initial populations (call before any
+    /// run()): scales each cell by 1 + eps*sin(...). Used to give variant
+    /// cross-checks a non-trivial state on periodic domains.
+    void perturbDensity(double eps)
+    {
+        NEON_CHECK(mIter == 0, "perturb before running");
+        for (size_t x = 0; x < mCells; ++x) {
+            const index_3d g = mDim.fromPitch(x);
+            const Real     factor = static_cast<Real>(
+                1.0 + eps * std::sin(0.7 * g.x + 0.31 * g.y + 0.113 * g.z));
+            for (int i = 0; i < D3Q19::Q; ++i) {
+                mF[0][slot(x, i)] *= factor;
+            }
+        }
+    }
+
+    void run(int n)
+    {
+        for (int it = 0; it < n; ++it) {
+            switch (mVariant) {
+                case Variant::Fused: stepTwoPop(false); break;
+                case Variant::TwoPopIdx: stepTwoPop(true); break;
+                case Variant::AA: stepAA(); break;
+            }
+            ++mIter;
+        }
+    }
+
+    [[nodiscard]] int iteration() const { return mIter; }
+
+    [[nodiscard]] double totalMass() const
+    {
+        const auto& f = currentBuffer();
+        double      mass = 0.0;
+        for (Real v : f) {
+            mass += v;
+        }
+        return mass;
+    }
+
+    struct Macro
+    {
+        double rho = 0.0;
+        std::array<double, 3> u{};
+    };
+
+    /// Macroscopic values; only meaningful for the two-population variants
+    /// (the AA buffer stores populations in mixed locations at odd steps).
+    [[nodiscard]] Macro macroAt(const index_3d& g) const
+    {
+        NEON_CHECK(mVariant != Variant::AA || (mIter % 2 == 0),
+                   "AA macro readout requires an even iteration count");
+        const auto&  f = currentBuffer();
+        const size_t x = mDim.pitch(g);
+        Macro        m;
+        for (int i = 0; i < D3Q19::Q; ++i) {
+            const int  slotDir = (mVariant == Variant::AA && mIter % 2 == 0)
+                                     ? i  // even step: populations are home
+                                     : i;
+            const double fi = f[slot(x, slotDir)];
+            m.rho += fi;
+            for (int d = 0; d < 3; ++d) {
+                m.u[static_cast<size_t>(d)] += fi * D3Q19::c[static_cast<size_t>(i)][d];
+            }
+        }
+        for (int d = 0; d < 3; ++d) {
+            m.u[static_cast<size_t>(d)] /= m.rho;
+        }
+        return m;
+    }
+
+    [[nodiscard]] const index_3d& dim() const { return mDim; }
+
+   private:
+    [[nodiscard]] size_t slot(size_t cell, int i) const
+    {
+        return static_cast<size_t>(i) * mCells + cell;  // SoA
+    }
+
+    [[nodiscard]] const std::vector<Real>& currentBuffer() const
+    {
+        if (mVariant == Variant::AA) {
+            return mF[0];
+        }
+        return mF[static_cast<size_t>(mIter & 1)];
+    }
+
+    /// Source cell for the pull of direction i at g; returns false when the
+    /// source is a wall (cavity) — never false for periodic.
+    bool pullSource(const index_3d& g, int i, index_3d& src) const
+    {
+        src = {g.x - D3Q19::c[static_cast<size_t>(i)][0],
+               g.y - D3Q19::c[static_cast<size_t>(i)][1],
+               g.z - D3Q19::c[static_cast<size_t>(i)][2]};
+        if (mDim.contains(src)) {
+            return true;
+        }
+        if (mBoundary == Boundary::Periodic) {
+            src = {(src.x + mDim.x) % mDim.x, (src.y + mDim.y) % mDim.y,
+                   (src.z + mDim.z) % mDim.z};
+            return true;
+        }
+        return false;
+    }
+
+    void collideInto(const Real* f, Real* out, size_t cell) const
+    {
+        Real rho = 0;
+        Real ux = 0;
+        Real uy = 0;
+        Real uz = 0;
+        for (int i = 0; i < D3Q19::Q; ++i) {
+            rho += f[i];
+            ux += f[i] * static_cast<Real>(D3Q19::c[static_cast<size_t>(i)][0]);
+            uy += f[i] * static_cast<Real>(D3Q19::c[static_cast<size_t>(i)][1]);
+            uz += f[i] * static_cast<Real>(D3Q19::c[static_cast<size_t>(i)][2]);
+        }
+        ux /= rho;
+        uy /= rho;
+        uz /= rho;
+        for (int i = 0; i < D3Q19::Q; ++i) {
+            const Real feq = equilibrium<D3Q19, Real>(i, rho, ux, uy, uz);
+            out[i] = f[i] + mOmega * (feq - f[i]);
+        }
+        (void)cell;
+    }
+
+    void pullGather(const std::vector<Real>& in, const index_3d& g, size_t x, Real* f) const
+    {
+        const int32_t topZ = mDim.z - 1;
+        f[0] = in[slot(x, 0)];
+        for (int i = 1; i < D3Q19::Q; ++i) {
+            index_3d src;
+            if (pullSource(g, i, src)) {
+                f[i] = in[slot(mDim.pitch(src), i)];
+            } else {
+                f[i] = in[slot(x, D3Q19::opp[static_cast<size_t>(i)])];
+                if (g.z == topZ && D3Q19::c[static_cast<size_t>(i)][2] < 0) {
+                    f[i] += Real(6) * static_cast<Real>(D3Q19::weight(i)) * mLidU *
+                            static_cast<Real>(D3Q19::c[static_cast<size_t>(i)][0]);
+                }
+            }
+        }
+    }
+
+    void stepTwoPop(bool indexed)
+    {
+        const auto& in = mF[static_cast<size_t>(mIter & 1)];
+        auto&       out = mF[static_cast<size_t>(1 - (mIter & 1))];
+        Real        f[D3Q19::Q];
+        Real        post[D3Q19::Q];
+        auto        body = [&](size_t x) {
+            const index_3d g = mDim.fromPitch(x);
+            pullGather(in, g, x, f);
+            collideInto(f, post, x);
+            for (int i = 0; i < D3Q19::Q; ++i) {
+                out[slot(x, i)] = post[i];
+            }
+        };
+        if (indexed) {
+            // CPA-like: iterate through the cell-index array.
+            for (const int32_t xi : mCellIndex) {
+                body(static_cast<size_t>(xi));
+            }
+        } else {
+            for (size_t x = 0; x < mCells; ++x) {
+                body(x);
+            }
+        }
+    }
+
+    /// AA pattern (single buffer). Even step: read home slots, collide,
+    /// write each post-collision population to the *opposite* home slot.
+    /// Odd step: gather f_i from (x - c_i, opp(i)), collide, scatter
+    /// f*_i to (x + c_i, i).
+    void stepAA()
+    {
+        auto& buf = mF[0];
+        Real  f[D3Q19::Q];
+        Real  post[D3Q19::Q];
+        if (mIter % 2 == 0) {
+            for (size_t x = 0; x < mCells; ++x) {
+                for (int i = 0; i < D3Q19::Q; ++i) {
+                    f[i] = buf[slot(x, i)];
+                }
+                collideInto(f, post, x);
+                for (int i = 0; i < D3Q19::Q; ++i) {
+                    buf[slot(x, D3Q19::opp[static_cast<size_t>(i)])] = post[i];
+                }
+            }
+        } else {
+            // In-place is safe: slot (z, i) is read only by cell z - c_i
+            // (its gather) and written only by the same cell (its scatter),
+            // and each cell completes all reads before its writes. Wall
+            // bounce-back writes go to (x, opp(i)), whose nominal owner is
+            // the wall itself — also conflict-free.
+            for (size_t x = 0; x < mCells; ++x) {
+                const index_3d g = mDim.fromPitch(x);
+                f[0] = buf[slot(x, 0)];
+                for (int i = 1; i < D3Q19::Q; ++i) {
+                    index_3d src;
+                    if (pullSource(g, i, src)) {
+                        f[i] = buf[slot(mDim.pitch(src), D3Q19::opp[static_cast<size_t>(i)])];
+                    } else {
+                        f[i] = buf[slot(x, i)];
+                        if (g.z == mDim.z - 1 && D3Q19::c[static_cast<size_t>(i)][2] < 0) {
+                            f[i] += Real(6) * static_cast<Real>(D3Q19::weight(i)) * mLidU *
+                                    static_cast<Real>(D3Q19::c[static_cast<size_t>(i)][0]);
+                        }
+                    }
+                }
+                collideInto(f, post, x);
+                for (int i = 0; i < D3Q19::Q; ++i) {
+                    if (i == 0) {
+                        buf[slot(x, 0)] = post[0];
+                        continue;
+                    }
+                    index_3d dst{g.x + D3Q19::c[static_cast<size_t>(i)][0],
+                                 g.y + D3Q19::c[static_cast<size_t>(i)][1],
+                                 g.z + D3Q19::c[static_cast<size_t>(i)][2]};
+                    if (mDim.contains(dst)) {
+                        buf[slot(mDim.pitch(dst), i)] = post[i];
+                    } else if (mBoundary == Boundary::Periodic) {
+                        dst = {(dst.x + mDim.x) % mDim.x, (dst.y + mDim.y) % mDim.y,
+                               (dst.z + mDim.z) % mDim.z};
+                        buf[slot(mDim.pitch(dst), i)] = post[i];
+                    } else {
+                        // Wall: the population bounces straight back home,
+                        // into direction opp(i); the moving lid adds its
+                        // momentum with the bounced direction's sign.
+                        Real v = post[i];
+                        if (g.z == mDim.z - 1 && D3Q19::c[static_cast<size_t>(i)][2] > 0) {
+                            v -= Real(6) * static_cast<Real>(D3Q19::weight(i)) * mLidU *
+                                 static_cast<Real>(D3Q19::c[static_cast<size_t>(i)][0]);
+                        }
+                        buf[slot(x, D3Q19::opp[static_cast<size_t>(i)])] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    index_3d             mDim;
+    size_t               mCells;
+    Real                 mOmega;
+    Real                 mLidU;
+    Variant              mVariant;
+    Boundary             mBoundary;
+    std::array<std::vector<Real>, 2> mF;
+    std::vector<int32_t> mCellIndex;
+    int                  mIter = 0;
+};
+
+}  // namespace neon::lbm::native

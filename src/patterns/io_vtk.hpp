@@ -1,0 +1,51 @@
+#pragma once
+// Field export to legacy VTK (the counterpart of Neon's ioToVtk): writes
+// the field as STRUCTURED_POINTS over the grid's bounding box with one
+// scalar array per component. Inactive cells of sparse grids carry the
+// field's outsideValue, so the file is viewable in ParaView for both grid
+// types without a connectivity dump.
+
+#include <fstream>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/index3d.hpp"
+
+namespace neon::patterns {
+
+/// Write `field` (host mirror; call field.updateHost() first) to `path`.
+template <typename FieldT>
+void ioToVtk(const FieldT& field, const std::string& path,
+             const std::string& fieldName = "field", double spacing = 1.0)
+{
+    const auto&  grid = field.grid();
+    const auto   dim = grid.dim();
+    std::ofstream os(path);
+    NEON_CHECK(os.good(), "cannot open VTK output file: " + path);
+
+    os << "# vtk DataFile Version 3.0\n";
+    os << "neon field export: " << fieldName << "\n";
+    os << "ASCII\n";
+    os << "DATASET STRUCTURED_POINTS\n";
+    os << "DIMENSIONS " << dim.x << " " << dim.y << " " << dim.z << "\n";
+    os << "ORIGIN 0 0 0\n";
+    os << "SPACING " << spacing << " " << spacing << " " << spacing << "\n";
+    os << "POINT_DATA " << dim.size() << "\n";
+
+    for (int c = 0; c < field.cardinality(); ++c) {
+        os << "SCALARS " << fieldName;
+        if (field.cardinality() > 1) {
+            os << "_" << c;
+        }
+        os << " double 1\n";
+        os << "LOOKUP_TABLE default\n";
+        dim.forEach([&](const index_3d& g) {
+            const double v = grid.isActive(g) ? static_cast<double>(field.hVal(g, c))
+                                              : static_cast<double>(field.outsideValue());
+            os << v << "\n";
+        });
+    }
+    NEON_CHECK(os.good(), "error while writing VTK output: " + path);
+}
+
+}  // namespace neon::patterns

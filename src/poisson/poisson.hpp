@@ -1,0 +1,82 @@
+#pragma once
+// Finite-difference Poisson solver (paper §VI-B): standard 7-point stencil
+// discretization of -∇²u = f on the unit cube with homogeneous Dirichlet
+// boundary conditions, solved with the matrix-free CG of solver/cg.hpp.
+//
+// Grid nodes sit at x_i = (i+1)h, h = 1/(N+1); the zero boundary lives on
+// the layer outside the grid and is served by the fields' outsideValue.
+
+#include <cmath>
+#include <numbers>
+
+#include "core/index3d.hpp"
+#include "solver/cg.hpp"
+
+namespace neon::poisson {
+
+/// Container factory: out = A*in with A the (negated, SPD) 7-point
+/// Laplacian: A u|_i = 6 u_i - sum_{n in N6(i)} u_n.
+template <typename Grid, typename FieldT>
+set::Container makeLaplacianApply(const Grid& grid, FieldT in, FieldT out,
+                                  std::string name = "laplacian")
+{
+    return grid.newContainer(std::move(name), [in, out](set::Loader& l) mutable {
+        auto ip = l.load(in, Access::READ, Compute::STENCIL);
+        auto op = l.load(out, Access::WRITE);
+        return [=](const auto& cell) mutable {
+            double acc = 6.0 * ip(cell);
+            acc -= ip.nghVal(cell, {1, 0, 0});
+            acc -= ip.nghVal(cell, {-1, 0, 0});
+            acc -= ip.nghVal(cell, {0, 1, 0});
+            acc -= ip.nghVal(cell, {0, -1, 0});
+            acc -= ip.nghVal(cell, {0, 0, 1});
+            acc -= ip.nghVal(cell, {0, 0, -1});
+            op(cell) = acc;
+        };
+    });
+}
+
+/// Analytic test problem: u(x,y,z) = sin(pi x) sin(pi y) sin(pi z), so
+/// f = 3 pi^2 u. The discrete right-hand side is b = h^2 f.
+struct SineProblem
+{
+    index_3d dim;
+    double   h;
+
+    explicit SineProblem(index_3d d) : dim(d), h(1.0 / (d.x + 1)) {}
+
+    [[nodiscard]] double exactU(const index_3d& g) const
+    {
+        using std::numbers::pi;
+        return std::sin(pi * (g.x + 1) * h) * std::sin(pi * (g.y + 1) * h) *
+               std::sin(pi * (g.z + 1) * h);
+    }
+
+    [[nodiscard]] double rhs(const index_3d& g) const
+    {
+        using std::numbers::pi;
+        return 3.0 * pi * pi * exactU(g) * h * h;
+    }
+};
+
+/// Set up and solve the sine problem on any grid; returns the CG result.
+/// On exit `x` holds the device-side solution.
+template <typename Grid, typename FieldT>
+solver::CgResult solveSine(const Grid& grid, FieldT x, FieldT b,
+                           const solver::CgOptions& options)
+{
+    const SineProblem problem(grid.dim());
+    if (!grid.backend().isDryRun()) {
+        b.forEachActiveHost([&](const index_3d& g, int, double& v) { v = problem.rhs(g); });
+        b.updateDev();
+        x.fillHost(0.0);
+        x.updateDev();
+    }
+
+    std::function<set::Container(FieldT, FieldT)> apply = [&grid](FieldT in, FieldT out) {
+        return makeLaplacianApply(grid, in, out);
+    };
+    return solver::cgSolve<Grid, FieldT, double>(grid, apply, x, b, options);
+}
+
+}  // namespace neon::poisson

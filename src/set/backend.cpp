@@ -1,0 +1,138 @@
+#include "set/backend.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "core/error.hpp"
+#include "sys/device.hpp"
+#include "sys/sequential_engine.hpp"
+#include "sys/threaded_engine.hpp"
+
+namespace neon::set {
+
+struct Backend::Impl
+{
+    EngineKind                                 engineKind = EngineKind::Sequential;
+    sys::SimConfig                             config;
+    std::unique_ptr<sys::Engine>               engine;
+    std::vector<std::unique_ptr<sys::Device>>  devices;
+    // streams[dev][idx], lazily grown
+    mutable std::mutex                                      streamMutex;
+    mutable std::vector<std::vector<std::unique_ptr<sys::Stream>>> streams;
+
+    ~Impl()
+    {
+        // Streams must die before the engine (they detach in their dtor).
+        streams.clear();
+        engine.reset();
+        devices.clear();
+    }
+};
+
+Backend::Backend() : Backend(1, sys::DeviceType::CPU, sys::SimConfig::zeroCost()) {}
+
+Backend::Backend(int nDevices, sys::DeviceType type, sys::SimConfig config, EngineKind engineKind)
+    : mImpl(std::make_shared<Impl>())
+{
+    NEON_CHECK(nDevices >= 1, "backend needs at least one device");
+    mImpl->engineKind = engineKind;
+    mImpl->config = config;
+    if (engineKind == EngineKind::Sequential) {
+        mImpl->engine = std::make_unique<sys::SequentialEngine>();
+    } else {
+        mImpl->engine = std::make_unique<sys::ThreadedEngine>();
+    }
+    for (int i = 0; i < nDevices; ++i) {
+        mImpl->devices.push_back(std::make_unique<sys::Device>(i, type, config));
+    }
+    mImpl->streams.resize(static_cast<size_t>(nDevices));
+}
+
+Backend Backend::simGpu(int nDevices, sys::SimConfig config, EngineKind engine)
+{
+    return Backend(nDevices, sys::DeviceType::SIM_GPU, config, engine);
+}
+
+Backend Backend::cpu(int nDevices, EngineKind engine)
+{
+    return Backend(nDevices, sys::DeviceType::CPU, sys::SimConfig::zeroCost(), engine);
+}
+
+int Backend::devCount() const
+{
+    return static_cast<int>(mImpl->devices.size());
+}
+
+sys::Device& Backend::device(int idx) const
+{
+    NEON_CHECK(idx >= 0 && idx < devCount(), "device index out of range");
+    return *mImpl->devices[static_cast<size_t>(idx)];
+}
+
+sys::Engine& Backend::engine() const
+{
+    return *mImpl->engine;
+}
+
+const sys::SimConfig& Backend::config() const
+{
+    return mImpl->config;
+}
+
+bool Backend::isDryRun() const
+{
+    return mImpl->config.dryRun;
+}
+
+Backend::EngineKind Backend::engineKind() const
+{
+    return mImpl->engineKind;
+}
+
+sys::Stream& Backend::stream(int dev, int streamIdx) const
+{
+    NEON_CHECK(dev >= 0 && dev < devCount(), "device index out of range");
+    NEON_CHECK(streamIdx >= 0, "stream index must be non-negative");
+    std::lock_guard<std::mutex> lock(mImpl->streamMutex);
+    auto& perDev = mImpl->streams[static_cast<size_t>(dev)];
+    while (static_cast<int>(perDev.size()) <= streamIdx) {
+        perDev.push_back(std::make_unique<sys::Stream>(
+            *mImpl->engine, device(dev), static_cast<int>(perDev.size())));
+    }
+    return *perDev[static_cast<size_t>(streamIdx)];
+}
+
+void Backend::sync() const
+{
+    mImpl->engine->syncAll();
+}
+
+double Backend::maxVtime() const
+{
+    return mImpl->engine->maxVtime();
+}
+
+void Backend::resetClocks() const
+{
+    mImpl->engine->resetClocks();
+}
+
+sys::Trace& Backend::trace() const
+{
+    return mImpl->engine->trace();
+}
+
+uint64_t Backend::newDataUid()
+{
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1);
+}
+
+std::string Backend::toString() const
+{
+    std::string kind = device(0).type() == sys::DeviceType::CPU ? "CPU" : "SIM_GPU";
+    return kind + " x" + std::to_string(devCount()) +
+           (engineKind() == EngineKind::Sequential ? " (sequential engine)" : " (threaded engine)");
+}
+
+}  // namespace neon::set

@@ -1,0 +1,118 @@
+#pragma once
+// Backend: the Set-level handle to the execution resources (paper §IV-B).
+// A Backend owns N devices, the execution engine and a pool of streams
+// indexed (device, streamIdx). It is a cheap copyable handle; grids, fields
+// and skeletons keep a copy.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sys/cost_model.hpp"
+#include "sys/stream.hpp"
+
+namespace neon::set {
+
+class Backend
+{
+   public:
+    enum class EngineKind : uint8_t
+    {
+        Sequential,  ///< deterministic discrete-event engine (default)
+        Threaded,    ///< real worker threads, used to validate synchronization
+    };
+
+    /// Default: one zero-cost CPU device, sequential engine.
+    Backend();
+    Backend(int nDevices, sys::DeviceType type, sys::SimConfig config,
+            EngineKind engine = EngineKind::Sequential);
+
+    /// n simulated GPUs with a DGX-A100-like cost model.
+    static Backend simGpu(int nDevices,
+                          sys::SimConfig config = sys::SimConfig::dgxA100Like(),
+                          EngineKind     engine = EngineKind::Sequential);
+    /// n zero-cost CPU devices (multi-device halo logic testable on CPU).
+    static Backend cpu(int nDevices = 1, EngineKind engine = EngineKind::Sequential);
+
+    [[nodiscard]] int          devCount() const;
+    [[nodiscard]] sys::Device& device(int idx) const;
+    [[nodiscard]] sys::Engine& engine() const;
+    [[nodiscard]] const sys::SimConfig& config() const;
+    [[nodiscard]] bool         isDryRun() const;
+    [[nodiscard]] EngineKind   engineKind() const;
+
+    /// Stream `streamIdx` on device `dev`; created lazily.
+    [[nodiscard]] sys::Stream& stream(int dev, int streamIdx = 0) const;
+
+    /// Block the host until every stream on every device drained.
+    void sync() const;
+
+    /// Virtual makespan so far (max stream vtime).
+    [[nodiscard]] double maxVtime() const;
+    /// Zero all virtual clocks (between measured benchmark runs).
+    void resetClocks() const;
+
+    [[nodiscard]] sys::Trace& trace() const;
+
+    /// Fresh unique id for a Multi-GPU data object (dependency tracking).
+    static uint64_t newDataUid();
+
+    [[nodiscard]] std::string toString() const;
+
+   private:
+    struct Impl;
+    std::shared_ptr<Impl> mImpl;
+};
+
+/// A column of the backend's stream matrix: stream `setIdx` on every device.
+/// This is the paper's "multi-GPU Stream" (§IV-B4).
+class StreamSet
+{
+   public:
+    StreamSet() = default;
+    StreamSet(Backend backend, int setIdx) : mBackend(std::move(backend)), mSetIdx(setIdx) {}
+
+    [[nodiscard]] sys::Stream& operator[](int dev) const { return mBackend.stream(dev, mSetIdx); }
+    [[nodiscard]] int          devCount() const { return mBackend.devCount(); }
+    [[nodiscard]] int          setIdx() const { return mSetIdx; }
+
+    void sync() const
+    {
+        for (int d = 0; d < devCount(); ++d) {
+            (*this)[d].sync();
+        }
+    }
+
+   private:
+    Backend mBackend;
+    int     mSetIdx = 0;
+};
+
+/// One event per device: the paper's "multi-GPU Event" (§IV-B4).
+class EventSet
+{
+   public:
+    EventSet() = default;
+    static EventSet make(int nDevices)
+    {
+        EventSet es;
+        es.mEvents.reserve(static_cast<size_t>(nDevices));
+        for (int i = 0; i < nDevices; ++i) {
+            es.mEvents.push_back(std::make_shared<sys::Event>());
+        }
+        return es;
+    }
+
+    [[nodiscard]] const sys::EventPtr& operator[](int dev) const
+    {
+        return mEvents[static_cast<size_t>(dev)];
+    }
+    [[nodiscard]] int  devCount() const { return static_cast<int>(mEvents.size()); }
+    [[nodiscard]] bool valid() const { return !mEvents.empty(); }
+
+   private:
+    std::vector<sys::EventPtr> mEvents;
+};
+
+}  // namespace neon::set

@@ -1,0 +1,126 @@
+#include "set/container.hpp"
+
+namespace neon::set {
+
+void Container::Impl::ensureParsed()
+{
+    if (parsed) {
+        return;
+    }
+    if (parser) {
+        parser(accessList);
+    }
+    // Deduce the compute pattern (paper §V-A: nodes are flagged MapOp /
+    // StencilOp / ReduceOp from the loading process).
+    if (hasForcedPattern) {
+        patternValue = forcedPattern;
+    } else {
+        patternValue = Compute::MAP;
+        for (const auto& a : accessList) {
+            if (a.compute == Compute::STENCIL && a.access == Access::READ) {
+                patternValue = Compute::STENCIL;
+                break;
+            }
+        }
+    }
+    // Cost hint: bytes moved per cell = sum over accessed fields. Stencil
+    // neighbour re-reads are assumed cached (memory-bound roofline).
+    hint = sys::KernelCostHint{};
+    for (const auto& a : accessList) {
+        hint.bytesPerItem += a.bytesPerItem;
+    }
+    // Grid kernels do O(1) flops per byte; the roofline max() in the cost
+    // model keeps them memory-bound.
+    hint.flopsPerItem = hint.bytesPerItem / 2.0;
+    parsed = true;
+}
+
+Container Container::haloUpdate(std::shared_ptr<const HaloOps> halo)
+{
+    NEON_CHECK(halo != nullptr, "haloUpdate requires a halo-capable field");
+    Container c;
+    c.mImpl = std::make_shared<Impl>();
+    c.mImpl->name = "halo(" + halo->name() + ")";
+    c.mImpl->kind = Kind::Halo;
+    c.mImpl->devCount = halo->devCount();
+    c.mImpl->parser = [halo](AccessList& rec) {
+        // A halo update is modeled as a write of the field: the stencil
+        // reading it afterwards gets a RaW edge, previous readers a WaR.
+        rec.push_back({halo->uid(), Access::WRITE, Compute::MAP, 0.0, halo->name(), halo});
+    };
+    c.mImpl->itemsFn = [](int, DataView) -> size_t { return 0; };
+    c.mImpl->launcher = [halo](int dev, sys::Stream& stream, DataView,
+                               const sys::KernelCostHint&) {
+        halo->enqueueHaloSend(dev, stream);
+    };
+    return c;
+}
+
+const std::string& Container::name() const
+{
+    return mImpl->name;
+}
+
+Container::Kind Container::kind() const
+{
+    return mImpl->kind;
+}
+
+int Container::devCount() const
+{
+    return mImpl->devCount;
+}
+
+const AccessList& Container::accesses() const
+{
+    mImpl->ensureParsed();
+    return mImpl->accessList;
+}
+
+Compute Container::pattern() const
+{
+    mImpl->ensureParsed();
+    return mImpl->patternValue;
+}
+
+const sys::KernelCostHint& Container::costHint() const
+{
+    mImpl->ensureParsed();
+    return mImpl->hint;
+}
+
+size_t Container::items(int dev, DataView view) const
+{
+    return mImpl->itemsFn ? mImpl->itemsFn(dev, view) : 0;
+}
+
+const Container& Container::combineStep() const
+{
+    NEON_CHECK(mImpl->combine != nullptr, "not a reduce container");
+    return *mImpl->combine;
+}
+
+bool Container::isReduce() const
+{
+    return mImpl->combine != nullptr;
+}
+
+void Container::launch(int dev, sys::Stream& stream, DataView view) const
+{
+    mImpl->ensureParsed();
+    mImpl->launcher(dev, stream, view, mImpl->hint);
+}
+
+void Container::run(const StreamSet& streams, DataView view) const
+{
+    for (int d = 0; d < devCount(); ++d) {
+        launch(d, streams[d], view);
+    }
+    if (isReduce()) {
+        // Manual execution path: synchronize and combine on stream 0.
+        streams.sync();
+        combineStep().launch(0, streams[0], DataView::STANDARD);
+    }
+}
+
+}  // namespace neon::set

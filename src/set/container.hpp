@@ -1,0 +1,234 @@
+#pragma once
+// Container: the multi-GPU kernel concept (paper §IV-B2). A Container wraps
+// a *loading lambda* which, given a Loader, returns the *compute lambda*
+// operating on partition local views. Run once in parsing mode it yields the
+// access list used for dependency analysis; run in execution mode per device
+// it yields the device-specific kernel.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+#include "set/access.hpp"
+#include "set/backend.hpp"
+#include "set/loader.hpp"
+#include "set/scalar.hpp"
+
+namespace neon::set {
+
+class Container
+{
+   public:
+    /// What a graph node made from this container does.
+    enum class Kind : uint8_t
+    {
+        Compute,   ///< map/stencil/reduce kernel over a grid span
+        Halo,      ///< haloUpdate transfers for one field
+        ScalarOp,  ///< host-side scalar work (reduce combine, alpha/beta)
+    };
+
+    Container() = default;
+
+    [[nodiscard]] bool valid() const { return mImpl != nullptr; }
+
+    /// Build a compute container from a grid and a loading lambda
+    /// `fn(Loader&) -> computeLambda(const Grid::Cell&)`.
+    template <typename Grid, typename LoadingLambda>
+    static Container factory(std::string name, const Grid& grid, LoadingLambda fn)
+    {
+        Container c;
+        c.mImpl = std::make_shared<Impl>();
+        c.mImpl->name = std::move(name);
+        c.mImpl->kind = Kind::Compute;
+        c.mImpl->devCount = grid.devCount();
+        c.mImpl->parser = [grid, fn](AccessList& rec) mutable {
+            Loader loader = Loader::parsing(&rec);
+            (void)fn(loader);
+        };
+        c.mImpl->itemsFn = [grid](int dev, DataView view) { return grid.span(dev, view).count(); };
+        c.mImpl->launcher = [grid, fn, name = c.mImpl->name](int dev, sys::Stream& stream,
+                                                             DataView                  view,
+                                                             const sys::KernelCostHint& hint) mutable {
+            auto span = grid.span(dev, view);
+            if (span.count() == 0) {
+                return;  // empty view (e.g. BOUNDARY on a single device)
+            }
+            Loader loader = Loader::execution(dev, view);
+            auto   kernel = fn(loader);
+            stream.kernel(name, span.count(), hint,
+                          [span, kernel]() mutable { span.forEach(kernel); });
+        };
+        return c;
+    }
+
+    /// Build a reduction container: `fn(Loader&) -> lambda(const Cell&, T& acc)`
+    /// accumulating (by +) into per-device partials of `result`. Pair with
+    /// `result.combineContainer()`-style node: the Skeleton inserts the
+    /// combine automatically; manual users call runCombine().
+    template <typename Grid, typename T, typename LoadingLambda>
+    static Container reduceFactory(std::string name, const Grid& grid, GlobalScalar<T> result,
+                                   LoadingLambda fn)
+    {
+        Container c;
+        c.mImpl = std::make_shared<Impl>();
+        c.mImpl->name = std::move(name);
+        c.mImpl->kind = Kind::Compute;
+        c.mImpl->forcedPattern = Compute::REDUCE;
+        c.mImpl->hasForcedPattern = true;
+        c.mImpl->devCount = grid.devCount();
+        c.mImpl->parser = [grid, fn, result](AccessList& rec) mutable {
+            Loader loader = Loader::parsing(&rec);
+            (void)fn(loader);
+            DataAccess out;
+            out.uid = result.uid();
+            out.access = Access::WRITE;
+            out.compute = Compute::REDUCE;
+            out.bytesPerItem = 0.0;
+            out.name = result.name();
+            rec.push_back(std::move(out));
+        };
+        c.mImpl->itemsFn = [grid](int dev, DataView view) { return grid.span(dev, view).count(); };
+        c.mImpl->launcher = [grid, fn, result, name = c.mImpl->name](
+                                int dev, sys::Stream& stream, DataView view,
+                                const sys::KernelCostHint& hint) mutable {
+            auto span = grid.span(dev, view);
+            Loader loader = Loader::execution(dev, view);
+            auto   kernel = fn(loader);
+            // Always launch (even when empty): the partial slot must be
+            // reset every iteration or stale partials leak across runs.
+            stream.kernel(name, span.count(), hint, [span, kernel, result, dev, view]() mutable {
+                T acc = result.identity();
+                span.forEach([&](const auto& cell) { kernel(cell, acc); });
+                result.setPartial(dev, GlobalScalar<T>::slotOf(view), acc);
+                if (view == DataView::STANDARD) {
+                    result.setPartial(dev, 1, result.identity());
+                }
+            });
+        };
+        // The combine step the Skeleton appends after the reduce kernels.
+        Backend backend = grid.backend();
+        c.mImpl->combine = std::make_shared<Container>(makeCombine(backend, result));
+        return c;
+    }
+
+    /// Fuse two *map* loading lambdas into one kernel: per cell, `fnA`'s
+    /// compute lambda runs before `fnB`'s. This implements (in user-directed
+    /// form) the container fusion the paper defers to future work (§V-D:
+    /// "the inability to optimize the single-GPU performance (e.g., via
+    /// kernel/container fusion)"). Valid only for cell-local (map) bodies:
+    /// if fnB stencil-reads data fnA writes, the fused kernel would read
+    /// partially updated neighbours. The parse step runs both lambdas, so
+    /// dependency analysis sees the union of their accesses; one kernel
+    /// launch replaces two and the intermediate field never re-travels
+    /// through memory in the cost model.
+    template <typename Grid, typename LoadingLambdaA, typename LoadingLambdaB>
+    static Container fusedFactory(std::string name, const Grid& grid, LoadingLambdaA fnA,
+                                  LoadingLambdaB fnB)
+    {
+        auto fused = [fnA, fnB](Loader& loader) mutable {
+            auto kernelA = fnA(loader);
+            auto kernelB = fnB(loader);
+            return [kernelA, kernelB](const auto& cell) mutable {
+                kernelA(cell);
+                kernelB(cell);
+            };
+        };
+        return factory(std::move(name), grid, std::move(fused));
+    }
+
+    /// Host-side scalar computation (e.g. alpha = rsold / pAp). Runs on
+    /// device 0's stream; downstream kernels see the broadcast device
+    /// mirrors of the written scalars.
+    template <typename T>
+    static Container scalarOp(std::string name, Backend backend,
+                              std::vector<GlobalScalar<T>> reads,
+                              std::vector<GlobalScalar<T>> writes, std::function<void()> fn)
+    {
+        Container c;
+        c.mImpl = std::make_shared<Impl>();
+        c.mImpl->name = std::move(name);
+        c.mImpl->kind = Kind::ScalarOp;
+        c.mImpl->devCount = backend.devCount();
+        const double dur = 2.0 * backend.config().link.latency + 1e-6;
+        c.mImpl->parser = [reads, writes](AccessList& rec) {
+            for (const auto& s : reads) {
+                rec.push_back({s.uid(), Access::READ, Compute::MAP, 0.0, s.name(), nullptr});
+            }
+            for (const auto& s : writes) {
+                rec.push_back({s.uid(), Access::WRITE, Compute::MAP, 0.0, s.name(), nullptr});
+            }
+        };
+        c.mImpl->itemsFn = [](int, DataView) -> size_t { return 1; };
+        c.mImpl->launcher = [fn, dur, name = c.mImpl->name](int dev, sys::Stream& stream, DataView,
+                                                            const sys::KernelCostHint&) {
+            if (dev != 0) {
+                return;
+            }
+            stream.hostFn(name, dur, fn);
+        };
+        return c;
+    }
+
+    /// Halo-update container for one field (created by the Skeleton from a
+    /// stencil-read access record; also usable manually at the Set level).
+    static Container haloUpdate(std::shared_ptr<const HaloOps> halo);
+
+    // --- queries ----------------------------------------------------------
+    [[nodiscard]] const std::string& name() const;
+    [[nodiscard]] Kind               kind() const;
+    [[nodiscard]] int                devCount() const;
+    /// Parsed access list (parses lazily on first call).
+    [[nodiscard]] const AccessList& accesses() const;
+    /// MAP / STENCIL / REDUCE, deduced from the access list (paper §V-A).
+    [[nodiscard]] Compute pattern() const;
+    /// Cost hint derived from the access list (DESIGN.md §4).
+    [[nodiscard]] const sys::KernelCostHint& costHint() const;
+    /// Number of work items for (device, view).
+    [[nodiscard]] size_t items(int dev, DataView view) const;
+    /// The companion combine container (valid for reduce containers only).
+    [[nodiscard]] const Container& combineStep() const;
+    [[nodiscard]] bool             isReduce() const;
+
+    /// Enqueue this container's work for one device on `stream`.
+    void launch(int dev, sys::Stream& stream, DataView view = DataView::STANDARD) const;
+
+    /// Convenience: launch on stream set 0 of `backend` for every device
+    /// (Set-level manual execution; the Skeleton does this per task).
+    void run(const StreamSet& streams, DataView view = DataView::STANDARD) const;
+
+   private:
+    template <typename T>
+    static Container makeCombine(Backend& backend, GlobalScalar<T> scalar)
+    {
+        Container c = scalarOp<T>("combine(" + scalar.name() + ")", backend, {scalar}, {scalar},
+                                  [scalar]() mutable { scalar.combinePartials(); });
+        return c;
+    }
+
+    struct Impl
+    {
+        std::string name;
+        Kind        kind = Kind::Compute;
+        int         devCount = 1;
+        std::function<void(AccessList&)>                                           parser;
+        std::function<size_t(int, DataView)>                                       itemsFn;
+        std::function<void(int, sys::Stream&, DataView, const sys::KernelCostHint&)> launcher;
+        std::shared_ptr<Container> combine;  ///< combine step for reductions
+
+        // lazily parsed
+        bool                parsed = false;
+        AccessList          accessList;
+        Compute             patternValue = Compute::MAP;
+        Compute             forcedPattern = Compute::MAP;
+        bool                hasForcedPattern = false;
+        sys::KernelCostHint hint;
+
+        void ensureParsed();
+    };
+    std::shared_ptr<Impl> mImpl;
+};
+
+}  // namespace neon::set

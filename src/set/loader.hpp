@@ -1,0 +1,63 @@
+#pragma once
+// Loader: the object passed to a Container's loading lambda (paper §IV-B2).
+// In *parsing* mode it records which Multi-GPU data the container uses and
+// how; in *execution* mode it hands out the partition local view for one
+// device and data view. The Loader hides the SPMD nature of the Container,
+// acting like the rank mechanism in MPI.
+
+#include "set/access.hpp"
+
+namespace neon::set {
+
+class Loader
+{
+   public:
+    static Loader parsing(AccessList* record)
+    {
+        Loader l;
+        l.mRecord = record;
+        return l;
+    }
+
+    static Loader execution(int devIdx, DataView view)
+    {
+        Loader l;
+        l.mDevIdx = devIdx;
+        l.mView = view;
+        return l;
+    }
+
+    /// Extract the partition local view of `data` for this loader's device,
+    /// declaring the access mode and compute pattern. `DataT` must provide
+    /// uid(), name(), bytesPerItem(), haloOps() and getPartition(dev, view).
+    template <typename DataT>
+    auto load(DataT& data, Access access, Compute compute = Compute::MAP)
+    {
+        if (isParsing()) {
+            DataAccess rec;
+            rec.uid = data.uid();
+            rec.access = access;
+            rec.compute = compute;
+            rec.bytesPerItem = data.bytesPerItem(compute);
+            rec.name = data.name();
+            if (compute == Compute::STENCIL && access == Access::READ) {
+                rec.halo = data.haloOps();
+            }
+            mRecord->push_back(std::move(rec));
+        }
+        return data.getPartition(mDevIdx, mView);
+    }
+
+    [[nodiscard]] bool     isParsing() const { return mRecord != nullptr; }
+    [[nodiscard]] int      devIdx() const { return mDevIdx; }
+    [[nodiscard]] DataView view() const { return mView; }
+
+   private:
+    Loader() = default;
+
+    AccessList* mRecord = nullptr;
+    int         mDevIdx = 0;
+    DataView    mView = DataView::STANDARD;
+};
+
+}  // namespace neon::set

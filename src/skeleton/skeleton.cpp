@@ -1,0 +1,525 @@
+#include "skeleton/skeleton.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+
+namespace neon::skeleton {
+
+namespace {
+
+using neon::Access;
+using set::Container;
+
+/// True when two containers iterate identically shaped spans on every
+/// device — the precondition for view-aligned dependency splitting in the
+/// two-way extended OCC transform.
+bool sameSpanShape(const Container& a, const Container& b)
+{
+    if (a.devCount() != b.devCount()) {
+        return false;
+    }
+    for (int d = 0; d < a.devCount(); ++d) {
+        if (a.items(d, DataView::INTERNAL) != b.items(d, DataView::INTERNAL) ||
+            a.items(d, DataView::BOUNDARY) != b.items(d, DataView::BOUNDARY)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+Graph buildGraph(const std::vector<set::Container>& containers, int devCount)
+{
+    Graph g;
+
+    std::unordered_map<uint64_t, int>              lastWriter;
+    std::unordered_map<uint64_t, std::vector<int>> readers;
+    std::unordered_map<uint64_t, bool>             haloFresh;
+
+    // Wire a node into the dependency bookkeeping from its access records.
+    auto connect = [&](int id) {
+        const auto& accesses = g.node(id).container.accesses();
+        for (const auto& a : accesses) {
+            if (a.access == Access::READ) {
+                auto it = lastWriter.find(a.uid);
+                if (it != lastWriter.end() && it->second != id) {
+                    g.addEdge(it->second, id, EdgeKind::RaW);
+                }
+                readers[a.uid].push_back(id);
+            }
+        }
+        const bool isHalo = g.node(id).kind() == Container::Kind::Halo;
+        for (const auto& a : accesses) {
+            if (a.access == Access::WRITE) {
+                for (int r : readers[a.uid]) {
+                    if (r != id && !g.hasDataEdge(r, id)) {
+                        g.addEdge(r, id, EdgeKind::WaR);
+                    }
+                }
+                auto it = lastWriter.find(a.uid);
+                if (it != lastWriter.end() && it->second != id && !g.hasDataEdge(it->second, id)) {
+                    g.addEdge(it->second, id, EdgeKind::WaW);
+                }
+                lastWriter[a.uid] = id;
+                readers[a.uid].clear();
+                haloFresh[a.uid] = isHalo;
+            }
+        }
+    };
+
+    for (const auto& c : containers) {
+        NEON_CHECK(c.valid(), "invalid container in sequence");
+        // Insert halo-update nodes for stale stencil reads (paper §V-B:
+        // "Neon adds halo update nodes to ensure the stencil operation
+        // nodes operate on the latest halo data values").
+        bool coherent = true;
+        if (devCount > 1) {
+            for (const auto& a : c.accesses()) {
+                if (a.compute == Compute::STENCIL && a.access == Access::READ &&
+                    a.halo != nullptr && !haloFresh[a.uid]) {
+                    coherent = false;
+                    const int h = g.addNode(Container::haloUpdate(a.halo));
+                    connect(h);
+                }
+            }
+        }
+        const int id = g.addNode(c);
+        g.node(id).coherent = coherent;
+        connect(id);
+        if (c.isReduce()) {
+            // The combine step is a first-class graph node so the scheduler
+            // places the all-device synchronization it implies.
+            const int cid = g.addNode(c.combineStep());
+            connect(cid);
+        }
+    }
+    return g;
+}
+
+void applyOcc(Graph& g, Occ occ, int devCount)
+{
+    if (occ == Occ::NONE || devCount <= 1) {
+        return;
+    }
+
+    struct SplitPair
+    {
+        int intId;
+        int bdrId;
+    };
+    std::vector<SplitPair> stencilSplits;
+
+    auto splitViews = [&](int id) -> SplitPair {
+        const set::Container c = g.node(id).container;
+        return {g.addNode(c, DataView::INTERNAL), g.addNode(c, DataView::BOUNDARY)};
+    };
+
+    // ---- Standard OCC: split every halo-dependent stencil node ----------
+    const int nStencilPass = g.nodeCount();
+    for (int id = 0; id < nStencilPass; ++id) {
+        if (!g.node(id).alive || g.node(id).kind() != Container::Kind::Compute ||
+            g.node(id).pattern() != Compute::STENCIL || g.node(id).view != DataView::STANDARD) {
+            continue;
+        }
+        const auto parents = g.dataParents(id);
+        std::vector<int> haloParents;
+        for (int p : parents) {
+            if (g.node(p).kind() == Container::Kind::Halo) {
+                haloParents.push_back(p);
+            }
+        }
+        if (haloParents.empty()) {
+            continue;
+        }
+        const auto [si, sb] = splitViews(id);
+        for (int p : parents) {
+            const EdgeKind k = g.dataEdgeKind(p, id);
+            if (std::find(haloParents.begin(), haloParents.end(), p) != haloParents.end()) {
+                // Only the boundary half needs fresh halo data — but both
+                // halves still need the *producers* of the halo'd field
+                // (the halo node subsumed the producer -> stencil edge when
+                // it became the field's last writer).
+                g.addEdge(p, sb, k);
+                for (int q : g.dataParents(p)) {
+                    g.addEdge(q, si, EdgeKind::RaW);
+                    g.addEdge(q, sb, EdgeKind::RaW);
+                }
+            } else {
+                g.addEdge(p, si, k);
+                g.addEdge(p, sb, k);
+            }
+        }
+        for (int c : g.dataChildren(id)) {
+            const EdgeKind k = g.dataEdgeKind(id, c);
+            g.addEdge(si, c, k);
+            g.addEdge(sb, c, k);
+        }
+        // Hints: issue the halo transfers first, then the internal half, so
+        // communication overlaps the internal computation (paper Fig. 4d).
+        for (int h : haloParents) {
+            g.addEdge(h, si, EdgeKind::Hint);
+        }
+        g.addEdge(si, sb, EdgeKind::Hint);
+        g.killNode(id);
+        stencilSplits.push_back({si, sb});
+    }
+
+    // ---- Extended OCC: split map nodes feeding halo updates -------------
+    if (occ == Occ::EXTENDED || occ == Occ::TWO_WAY) {
+        const int nHaloPass = g.nodeCount();
+        for (int h = 0; h < nHaloPass; ++h) {
+            if (!g.node(h).alive || g.node(h).kind() != Container::Kind::Halo) {
+                continue;
+            }
+            for (int p : g.dataParents(h)) {
+                const auto& pn = g.node(p);
+                if (!pn.alive || pn.kind() != Container::Kind::Compute ||
+                    pn.pattern() != Compute::MAP || pn.view != DataView::STANDARD) {
+                    continue;
+                }
+                const auto parents = g.dataParents(p);
+                const auto children = g.dataChildren(p);
+                const auto [pi, pb] = splitViews(p);
+                for (int q : parents) {
+                    const EdgeKind k = g.dataEdgeKind(q, p);
+                    g.addEdge(q, pi, k);
+                    g.addEdge(q, pb, k);
+                }
+                for (int c : children) {
+                    const EdgeKind k = g.dataEdgeKind(p, c);
+                    if (g.node(c).kind() == Container::Kind::Halo) {
+                        // The halo sends only boundary cells: it can start
+                        // right after the boundary half of the map.
+                        g.addEdge(pb, c, k);
+                    } else {
+                        g.addEdge(pi, c, k);
+                        g.addEdge(pb, c, k);
+                    }
+                }
+                // Launch the boundary map first (paper Fig. 1c).
+                g.addEdge(pb, pi, EdgeKind::Hint);
+                g.killNode(p);
+            }
+        }
+    }
+
+    // ---- Two-way extended: split map/reduce nodes after the stencil -----
+    if (occ == Occ::TWO_WAY) {
+        for (const auto& sp : stencilSplits) {
+            for (int c : g.dataChildren(sp.intId)) {
+                const auto& cn = g.node(c);
+                if (!cn.alive || cn.kind() != Container::Kind::Compute ||
+                    cn.view != DataView::STANDARD) {
+                    continue;
+                }
+                if (cn.pattern() != Compute::MAP && cn.pattern() != Compute::REDUCE) {
+                    continue;
+                }
+                // View-aligned dependencies are only valid when the child
+                // iterates the same span partition as the stencil.
+                if (!sameSpanShape(g.node(sp.intId).container, cn.container)) {
+                    continue;
+                }
+                const bool isReduce = cn.pattern() == Compute::REDUCE;
+                const auto parents = g.dataParents(c);
+                const auto children = g.dataChildren(c);
+                const auto [ci, cb] = splitViews(c);
+                for (int q : parents) {
+                    const EdgeKind k = g.dataEdgeKind(q, c);
+                    const auto&    qn = g.node(q);
+                    // Map/reduce reads are cell-local, so a split parent's
+                    // halves pair with the matching child halves.
+                    if (qn.view == DataView::INTERNAL) {
+                        g.addEdge(q, ci, k);
+                    } else if (qn.view == DataView::BOUNDARY) {
+                        g.addEdge(q, cb, k);
+                    } else {
+                        g.addEdge(q, ci, k);
+                        g.addEdge(q, cb, k);
+                    }
+                }
+                for (int ch : children) {
+                    const EdgeKind k = g.dataEdgeKind(c, ch);
+                    g.addEdge(ci, ch, k);
+                    g.addEdge(cb, ch, k);
+                }
+                if (isReduce) {
+                    // Paper §V-B: "a data dependency is also added between
+                    // the internal and the boundary cells computations".
+                    g.addEdge(ci, cb, EdgeKind::WaW);
+                } else {
+                    g.addEdge(ci, cb, EdgeKind::Hint);
+                }
+                g.killNode(c);
+            }
+        }
+    }
+}
+
+std::vector<Task> scheduleGraph(Graph& g, int maxStreams, int* streamCountOut)
+{
+    NEON_CHECK(maxStreams >= 1, "need at least one stream");
+
+    // (a) Map nodes to streams: BFS levels over data edges; inherit a
+    // parent's stream when free to skip events later (paper §V-C(a)).
+    const auto levels = g.bfsLevels(false);
+    int        width = 0;
+    for (const auto& level : levels) {
+        width = std::max(width, static_cast<int>(level.size()));
+    }
+    const int nStreams = std::min(std::max(width, 1), maxStreams);
+    if (streamCountOut != nullptr) {
+        *streamCountOut = nStreams;
+    }
+
+    for (size_t li = 0; li < levels.size(); ++li) {
+        std::vector<bool> taken(static_cast<size_t>(nStreams), false);
+        std::vector<int>  unassigned;
+        for (int id : levels[li]) {
+            g.node(id).level = static_cast<int>(li);
+            int choice = -1;
+            for (int p : g.dataParents(id)) {
+                const int ps = g.node(p).stream;
+                if (ps >= 0 && ps < nStreams && !taken[static_cast<size_t>(ps)]) {
+                    choice = ps;
+                    break;
+                }
+            }
+            if (choice >= 0) {
+                g.node(id).stream = choice;
+                taken[static_cast<size_t>(choice)] = true;
+            } else {
+                unassigned.push_back(id);
+            }
+        }
+        int cursor = 0;
+        for (int id : unassigned) {
+            int free = -1;
+            for (int s = 0; s < nStreams; ++s) {
+                if (!taken[static_cast<size_t>(s)]) {
+                    free = s;
+                    break;
+                }
+            }
+            if (free < 0) {
+                free = cursor++ % nStreams;  // level wider than the cap
+            }
+            g.node(id).stream = free;
+            taken[static_cast<size_t>(free)] = true;
+        }
+    }
+
+    // (b) Organize event synchronization: a dependency needs an event unless
+    // it is same-device-scoped and rides the same stream FIFO (§V-C(b)).
+    std::unordered_map<int, std::vector<Task::Wait>> waits;
+    for (const auto& e : g.edges()) {
+        if (e.kind == EdgeKind::Hint) {
+            continue;
+        }
+        const WaitScope scope = g.waitScope(e.from, e.to);
+        if (scope == WaitScope::SameDev && g.node(e.from).stream == g.node(e.to).stream) {
+            continue;  // FIFO order on the shared stream is enough
+        }
+        auto& w = waits[e.to];
+        if (std::none_of(w.begin(), w.end(),
+                         [&](const Task::Wait& x) { return x.parent == e.from; })) {
+            w.push_back({e.from, scope});
+            g.node(e.from).needsEvent = true;
+        }
+    }
+
+    // (c) Task list order: BFS over data + hint edges (§V-C(c), Fig. 6).
+    std::vector<Task> tasks;
+    for (const auto& level : g.bfsLevels(true)) {
+        for (int id : level) {
+            Task t;
+            t.nodeId = id;
+            t.stream = g.node(id).stream;
+            if (auto it = waits.find(id); it != waits.end()) {
+                t.waits = it->second;
+            }
+            tasks.push_back(std::move(t));
+        }
+    }
+    return tasks;
+}
+
+struct Skeleton::Impl
+{
+    set::Backend      backend;
+    std::string       appName = "app";
+    Options           options;
+    Graph             graph;
+    std::vector<Task> tasks;
+    int               nStreams = 1;
+    bool              defined = false;
+    /// Barrier event recorded at the end of the previous run(): iteration
+    /// N+1 must not overtake iteration N on a different stream.
+    sys::EventPtr runBarrier;
+};
+
+Skeleton::Skeleton(set::Backend backend) : mImpl(std::make_shared<Impl>())
+{
+    mImpl->backend = std::move(backend);
+}
+
+void Skeleton::sequence(std::vector<set::Container> containers, std::string name, Options options)
+{
+    Impl& s = *mImpl;
+    for (const auto& c : containers) {
+        NEON_CHECK(c.valid(), "invalid container in sequence");
+        NEON_CHECK(c.devCount() == s.backend.devCount(),
+                   "container '" + c.name() + "' was built for " +
+                       std::to_string(c.devCount()) + " device(s) but the skeleton backend has " +
+                       std::to_string(s.backend.devCount()));
+    }
+    s.appName = std::move(name);
+    s.options = options;
+    s.graph = buildGraph(containers, s.backend.devCount());
+    applyOcc(s.graph, options.occ, s.backend.devCount());
+    s.graph.transitiveReduce();
+    s.tasks = scheduleGraph(s.graph, options.maxStreams, &s.nStreams);
+    s.runBarrier = nullptr;
+    s.defined = true;
+    log::debug("skeleton '", s.appName, "': ", s.graph.aliveCount(), " nodes, ", s.tasks.size(),
+               " tasks, ", s.nStreams, " streams, occ=", to_string(options.occ));
+}
+
+void Skeleton::run()
+{
+    Impl& s = *mImpl;
+    NEON_CHECK(s.defined, "Skeleton::sequence must be called before run()");
+    const int nDev = s.backend.devCount();
+
+    // Inter-run barrier: every stream waits for the previous run's tail
+    // before dispatching new work (successive skeleton runs are dependent
+    // by construction — they reuse the same fields).
+    if (s.runBarrier != nullptr) {
+        for (int d = 0; d < nDev; ++d) {
+            for (int st = 0; st < s.nStreams; ++st) {
+                if (d == 0 && st == 0) {
+                    continue;  // FIFO order on the barrier's own stream
+                }
+                s.backend.stream(d, st).wait(s.runBarrier);
+            }
+        }
+    }
+
+    // Fresh completion events per run (cheap; safe for the threaded engine).
+    std::unordered_map<int, set::EventSet> completion;
+    for (const Task& t : s.tasks) {
+        if (s.graph.node(t.nodeId).needsEvent) {
+            completion.emplace(t.nodeId, set::EventSet::make(nDev));
+        }
+    }
+
+    for (const Task& t : s.tasks) {
+        const GraphNode& n = s.graph.node(t.nodeId);
+        for (int d = 0; d < nDev; ++d) {
+            sys::Stream& stream = s.backend.stream(d, t.stream);
+            for (const auto& w : t.waits) {
+                const set::EventSet& ev = completion.at(w.parent);
+                switch (w.scope) {
+                    case WaitScope::SameDev:
+                        stream.wait(ev[d]);
+                        break;
+                    case WaitScope::Neighbours:
+                        for (int dd = d - 1; dd <= d + 1; ++dd) {
+                            if (dd >= 0 && dd < nDev) {
+                                stream.wait(ev[dd]);
+                            }
+                        }
+                        break;
+                    case WaitScope::Root:
+                        stream.wait(ev[0]);
+                        break;
+                    case WaitScope::All:
+                        for (int dd = 0; dd < nDev; ++dd) {
+                            stream.wait(ev[dd]);
+                        }
+                        break;
+                }
+            }
+            n.container.launch(d, stream, n.view);
+            if (n.needsEvent) {
+                stream.record(completion.at(t.nodeId)[d]);
+            }
+        }
+    }
+
+    // Record the tail barrier: stream (0,0) gathers every stream's tail
+    // event and publishes a single barrier the next run waits on.
+    set::EventSet tails = set::EventSet::make(nDev * s.nStreams);
+    for (int d = 0; d < nDev; ++d) {
+        for (int st = 0; st < s.nStreams; ++st) {
+            if (d == 0 && st == 0) {
+                continue;
+            }
+            const int slot = d * s.nStreams + st;
+            s.backend.stream(d, st).record(tails[slot]);
+            s.backend.stream(0, 0).wait(tails[slot]);
+        }
+    }
+    auto barrier = std::make_shared<sys::Event>();
+    s.backend.stream(0, 0).record(barrier);
+    s.runBarrier = std::move(barrier);
+}
+
+void Skeleton::sync()
+{
+    mImpl->backend.sync();
+}
+
+const Graph& Skeleton::graph() const
+{
+    return mImpl->graph;
+}
+
+const std::vector<Task>& Skeleton::taskList() const
+{
+    return mImpl->tasks;
+}
+
+int Skeleton::streamCount() const
+{
+    return mImpl->nStreams;
+}
+
+const std::string& Skeleton::name() const
+{
+    return mImpl->appName;
+}
+
+set::Backend& Skeleton::backend()
+{
+    return mImpl->backend;
+}
+
+std::string Skeleton::report() const
+{
+    const Impl&        s = *mImpl;
+    std::ostringstream os;
+    os << "skeleton '" << s.appName << "' on " << s.backend.toString() << "\n";
+    os << "occ: " << to_string(s.options.occ) << ", streams: " << s.nStreams << "\n";
+    os << "task order:\n";
+    for (const Task& t : s.tasks) {
+        const GraphNode& n = s.graph.node(t.nodeId);
+        os << "  [s" << t.stream << "] " << n.label();
+        if (!t.waits.empty()) {
+            os << "  waits:";
+            for (const auto& w : t.waits) {
+                os << " " << s.graph.node(w.parent).label() << "(" << to_string(w.scope) << ")";
+            }
+        }
+        os << "\n";
+    }
+    os << "graph:\n" << s.graph.toDot();
+    return os.str();
+}
+
+}  // namespace neon::skeleton

@@ -1,0 +1,88 @@
+#pragma once
+// Skeleton: Neon's orchestrator (paper §V). From a user-defined sequence of
+// Containers it
+//   1. extracts the data dependency graph (§V-A),
+//   2. builds the multi-GPU graph: halo-update nodes for incoherent stencil
+//      reads, reduce-combine nodes, transitive reduction, OCC transforms
+//      with scheduling hints (§V-B),
+//   3. schedules the graph onto streams and events with a greedy BFS
+//      strategy (§V-C),
+// and executes the resulting ordered task list on every run().
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "set/backend.hpp"
+#include "set/container.hpp"
+#include "skeleton/graph.hpp"
+
+namespace neon::skeleton {
+
+struct Options
+{
+    Occ occ = Occ::NONE;
+    /// Cap on concurrent streams per device (level width beyond this wraps).
+    int maxStreams = 8;
+
+    Options() = default;
+    explicit Options(Occ o) : occ(o) {}
+};
+
+/// One entry of the scheduler's ordered task list (paper §V-C).
+struct Task
+{
+    int nodeId = -1;
+    int stream = 0;
+    /// Parents whose completion events this task waits on (with scope).
+    struct Wait
+    {
+        int       parent = -1;
+        WaitScope scope = WaitScope::SameDev;
+    };
+    std::vector<Wait> waits;
+};
+
+class Skeleton
+{
+   public:
+    explicit Skeleton(set::Backend backend);
+
+    /// Define the application as an ordered sequence of Containers
+    /// (Listing 3). May be called again to redefine the skeleton.
+    void sequence(std::vector<set::Container> containers, std::string name = "app",
+                  Options options = {});
+
+    /// Enqueue one execution of the scheduled task list (asynchronous).
+    void run();
+
+    /// Block the host until every enqueued run completed.
+    void sync();
+
+    // --- introspection (tests, reports, Fig. 1 timeline example) ----------
+    [[nodiscard]] const Graph&             graph() const;
+    [[nodiscard]] const std::vector<Task>& taskList() const;
+    [[nodiscard]] int                      streamCount() const;
+    [[nodiscard]] const std::string&       name() const;
+    [[nodiscard]] set::Backend&            backend();
+    /// Human-readable summary of graph, schedule and task order.
+    [[nodiscard]] std::string report() const;
+
+   private:
+    struct Impl;
+    std::shared_ptr<Impl> mImpl;
+};
+
+// --- pipeline stages, exposed for unit testing ----------------------------
+
+/// Stage 1+2a: dependency graph with halo-update and reduce-combine nodes.
+Graph buildGraph(const std::vector<set::Container>& containers, int devCount);
+
+/// Stage 2b: OCC transform (paper §V-B). Returns ids of nodes split.
+void applyOcc(Graph& graph, Occ occ, int devCount);
+
+/// Stage 3: BFS level / stream assignment and ordered task list (§V-C).
+std::vector<Task> scheduleGraph(Graph& graph, int maxStreams, int* streamCountOut);
+
+}  // namespace neon::skeleton

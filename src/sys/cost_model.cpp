@@ -1,0 +1,60 @@
+#include "sys/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace neon::sys {
+
+SimConfig SimConfig::dgxA100Like()
+{
+    SimConfig cfg;
+    cfg.device.memBandwidth = 1.24e12;
+    cfg.device.flopRate = 19.5e12;
+    cfg.device.kernelLaunchOverhead = 4e-6;
+    cfg.link.bandwidth = 200e9;
+    cfg.link.latency = 4e-6;
+    cfg.deviceMemCapacity = 40ull << 30;
+    return cfg;
+}
+
+SimConfig SimConfig::pcieGen3Like()
+{
+    SimConfig cfg;
+    // GV100: 32 GB HBM2 at ~900 GB/s effective. PCIe Gen3 x16 peer copies:
+    // ~10 GB/s effective with ~15 us per staged transfer.
+    cfg.device.memBandwidth = 0.72e12;
+    cfg.device.flopRate = 14.8e12;
+    cfg.device.kernelLaunchOverhead = 6e-6;
+    cfg.link.bandwidth = 10e9;
+    cfg.link.latency = 15e-6;
+    cfg.deviceMemCapacity = 32ull << 30;
+    return cfg;
+}
+
+SimConfig SimConfig::zeroCost()
+{
+    SimConfig cfg;
+    cfg.device.memBandwidth = std::numeric_limits<double>::infinity();
+    cfg.device.flopRate = std::numeric_limits<double>::infinity();
+    cfg.device.kernelLaunchOverhead = 0.0;
+    cfg.link.bandwidth = std::numeric_limits<double>::infinity();
+    cfg.link.latency = 0.0;
+    cfg.deviceMemCapacity = std::numeric_limits<size_t>::max();
+    return cfg;
+}
+
+double kernelDuration(const SimConfig& cfg, size_t items, const KernelCostHint& hint)
+{
+    const double bytes = static_cast<double>(items) * hint.bytesPerItem;
+    const double flops = static_cast<double>(items) * hint.flopsPerItem;
+    const double memTime = bytes / cfg.device.memBandwidth;
+    const double flopTime = flops / cfg.device.flopRate;
+    return cfg.device.kernelLaunchOverhead + std::max(memTime, flopTime);
+}
+
+double transferDuration(const SimConfig& cfg, size_t bytes)
+{
+    return cfg.link.latency + static_cast<double>(bytes) / cfg.link.bandwidth;
+}
+
+}  // namespace neon::sys

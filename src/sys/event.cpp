@@ -1,0 +1,41 @@
+#include "sys/event.hpp"
+
+namespace neon::sys {
+
+void Event::record(double vtime)
+{
+    {
+        std::lock_guard<std::mutex> lock(mMutex);
+        mRecorded = true;
+        mVtime = vtime;
+    }
+    mCv.notify_all();
+}
+
+bool Event::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mRecorded;
+}
+
+double Event::vtime() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mVtime;
+}
+
+double Event::blockUntilRecorded() const
+{
+    std::unique_lock<std::mutex> lock(mMutex);
+    mCv.wait(lock, [this] { return mRecorded; });
+    return mVtime;
+}
+
+void Event::reset()
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mRecorded = false;
+    mVtime = 0.0;
+}
+
+}  // namespace neon::sys

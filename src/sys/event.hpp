@@ -1,0 +1,44 @@
+#pragma once
+// Event: completion marker used to inject dependencies between streams
+// (paper §IV-A "Queue-based Run-time Model" — CUDA Events analogue).
+//
+// An event carries both the real completion state (used by the threaded
+// engine's condition-variable waits) and the virtual timestamp at which it
+// was recorded (used by the discrete-event clock).
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace neon::sys {
+
+class Event
+{
+   public:
+    Event() = default;
+
+    /// Mark the event complete at virtual time `vtime` and wake waiters.
+    void record(double vtime);
+
+    [[nodiscard]] bool   recorded() const;
+    /// Virtual timestamp of the record; only meaningful once recorded().
+    [[nodiscard]] double vtime() const;
+
+    /// Block the calling thread until the event is recorded (threaded
+    /// engine). Returns the recorded virtual time.
+    double blockUntilRecorded() const;
+
+    /// Return to the unrecorded state (reuse between skeleton runs on the
+    /// sequential engine only; the threaded engine allocates fresh events).
+    void reset();
+
+   private:
+    mutable std::mutex              mMutex;
+    mutable std::condition_variable mCv;
+    bool                            mRecorded = false;
+    double                          mVtime = 0.0;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+}  // namespace neon::sys

@@ -1,0 +1,67 @@
+#pragma once
+// Operations that can be enqueued on a Stream. The runtime model is
+// queue-based (paper §IV-A): each stream processes its ops in FIFO order;
+// cross-stream ordering is expressed only through events.
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sys/cost_model.hpp"
+#include "sys/event.hpp"
+
+namespace neon::sys {
+
+/// A device kernel: `body` performs the real computation (host execution);
+/// the simulated duration comes from `items` and `hint`.
+struct KernelOp
+{
+    std::string           name;
+    size_t                items = 0;
+    KernelCostHint        hint;
+    std::function<void()> body;
+};
+
+/// One contiguous device-to-device copy; `direction` selects the DMA engine
+/// (0: towards the lower-id neighbour, 1: towards the higher-id neighbour).
+struct TransferChunk
+{
+    size_t                bytes = 0;
+    int                   direction = 0;
+    std::function<void()> copy;
+};
+
+/// A group of copies issued together (e.g. one haloUpdate on one device).
+/// Chunks with the same direction serialize on that DMA engine; the two
+/// directions proceed in parallel — this is what makes the SoA layout pay
+/// `n` latencies per direction while AoS pays one (paper §IV-C2).
+struct TransferOp
+{
+    std::string                name;
+    std::vector<TransferChunk> chunks;
+};
+
+/// Host-side work executed in stream order (e.g. the reduce combine step).
+struct HostFnOp
+{
+    std::string           name;
+    double                simDuration = 0.0;
+    std::function<void()> fn;
+};
+
+/// Record `event` when the stream reaches this op.
+struct RecordOp
+{
+    EventPtr event;
+};
+
+/// Hold the stream until `event` is recorded.
+struct WaitOp
+{
+    EventPtr event;
+};
+
+using Op = std::variant<KernelOp, TransferOp, HostFnOp, RecordOp, WaitOp>;
+
+}  // namespace neon::sys

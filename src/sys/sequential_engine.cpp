@@ -1,0 +1,131 @@
+#include "sys/sequential_engine.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "sys/device.hpp"
+
+namespace neon::sys {
+
+SequentialEngine::State& SequentialEngine::stateOf(const Stream& stream)
+{
+    return *static_cast<State*>(stream.engineState.get());
+}
+
+void SequentialEngine::attach(Stream& stream)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    stream.engineState = std::make_shared<State>();
+    mStreams.insert(&stream);
+    mDevices.insert(&stream.device());
+}
+
+void SequentialEngine::detach(Stream& stream)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mStreams.erase(&stream);
+}
+
+void SequentialEngine::enqueue(Stream& stream, Op op)
+{
+    State&           st = stateOf(stream);
+    Device&          dev = stream.device();
+    const SimConfig& cfg = dev.config();
+
+    if (auto* k = std::get_if<KernelOp>(&op)) {
+        const double start = std::max(st.vtime, dev.computeAvailable);
+        const double end = start + kernelDuration(cfg, k->items, k->hint);
+        st.vtime = end;
+        dev.computeAvailable = end;
+        if (!cfg.dryRun && k->body) {
+            k->body();
+        }
+        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end});
+        return;
+    }
+    if (auto* t = std::get_if<TransferOp>(&op)) {
+        // The two DMA directions proceed in parallel; chunks serialize
+        // within a direction.
+        double end = st.vtime;
+        double dirEnd[2] = {0.0, 0.0};
+        bool   dirUsed[2] = {false, false};
+        for (const auto& chunk : t->chunks) {
+            const int dir = chunk.direction != 0 ? 1 : 0;
+            if (!dirUsed[dir]) {
+                dirEnd[dir] = std::max(st.vtime, dev.copyAvailable[dir]);
+                dirUsed[dir] = true;
+            }
+            const double start = dirEnd[dir];
+            dirEnd[dir] = start + transferDuration(cfg, chunk.bytes);
+            if (!cfg.dryRun && chunk.copy) {
+                chunk.copy();
+            }
+            mTrace.add({dev.id(), stream.id(), "transfer", t->name, start, dirEnd[dir]});
+        }
+        for (int dir = 0; dir < 2; ++dir) {
+            if (dirUsed[dir]) {
+                dev.copyAvailable[dir] = dirEnd[dir];
+                end = std::max(end, dirEnd[dir]);
+            }
+        }
+        st.vtime = end;
+        return;
+    }
+    if (auto* h = std::get_if<HostFnOp>(&op)) {
+        const double start = st.vtime;
+        st.vtime += h->simDuration;
+        if (!cfg.dryRun && h->fn) {
+            h->fn();
+        }
+        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, st.vtime});
+        return;
+    }
+    if (auto* r = std::get_if<RecordOp>(&op)) {
+        r->event->record(st.vtime);
+        return;
+    }
+    if (auto* w = std::get_if<WaitOp>(&op)) {
+        if (!w->event->recorded()) {
+            throw InternalError(
+                "sequential engine: wait on an unrecorded event — the task "
+                "list is not a topological order of the dependency graph");
+        }
+        st.vtime = std::max(st.vtime, w->event->vtime());
+        return;
+    }
+}
+
+void SequentialEngine::sync(Stream&)
+{
+    // Ops already executed eagerly: nothing to wait for.
+}
+
+void SequentialEngine::syncAll() {}
+
+double SequentialEngine::streamVtime(const Stream& stream) const
+{
+    return stateOf(stream).vtime;
+}
+
+double SequentialEngine::maxVtime() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    double v = 0.0;
+    for (const Stream* s : mStreams) {
+        v = std::max(v, stateOf(*s).vtime);
+    }
+    return v;
+}
+
+void SequentialEngine::resetClocks()
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    for (Stream* s : mStreams) {
+        stateOf(*s).vtime = 0.0;
+    }
+    for (Device* d : mDevices) {
+        d->resetClocks();
+    }
+}
+
+}  // namespace neon::sys

@@ -1,0 +1,56 @@
+#include "sys/stream.hpp"
+
+namespace neon::sys {
+
+Stream::Stream(Engine& engine, Device& device, int id)
+    : mEngine(&engine), mDevice(&device), mId(id)
+{
+    mEngine->attach(*this);
+}
+
+Stream::~Stream()
+{
+    mEngine->detach(*this);
+}
+
+void Stream::enqueue(Op op)
+{
+    mEngine->enqueue(*this, std::move(op));
+}
+
+void Stream::kernel(std::string name, size_t items, KernelCostHint hint, std::function<void()> body)
+{
+    enqueue(KernelOp{std::move(name), items, hint, std::move(body)});
+}
+
+void Stream::transfer(TransferOp op)
+{
+    enqueue(std::move(op));
+}
+
+void Stream::hostFn(std::string name, double simDuration, std::function<void()> fn)
+{
+    enqueue(HostFnOp{std::move(name), simDuration, std::move(fn)});
+}
+
+void Stream::record(EventPtr event)
+{
+    enqueue(RecordOp{std::move(event)});
+}
+
+void Stream::wait(EventPtr event)
+{
+    enqueue(WaitOp{std::move(event)});
+}
+
+void Stream::sync()
+{
+    mEngine->sync(*this);
+}
+
+double Stream::vtime() const
+{
+    return mEngine->streamVtime(*this);
+}
+
+}  // namespace neon::sys

@@ -1,0 +1,86 @@
+#pragma once
+// Stream: FIFO command queue bound to one device (CUDA Stream analogue,
+// paper §IV-A). All enqueue operations are asynchronous with respect to the
+// host; sync() blocks until the queue drains.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sys/op.hpp"
+#include "sys/trace.hpp"
+
+namespace neon::sys {
+
+class Engine;
+class Device;
+
+class Stream
+{
+   public:
+    /// Streams are created through Engine/Backend; the ctor registers the
+    /// stream with its engine.
+    Stream(Engine& engine, Device& device, int id);
+    ~Stream();
+
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    void enqueue(Op op);
+
+    // Convenience wrappers -------------------------------------------------
+    void kernel(std::string name, size_t items, KernelCostHint hint, std::function<void()> body);
+    void transfer(TransferOp op);
+    void hostFn(std::string name, double simDuration, std::function<void()> fn);
+    void record(EventPtr event);
+    void wait(EventPtr event);
+
+    /// Host blocks until every enqueued op completed.
+    void sync();
+
+    /// Virtual time at which the last enqueued op finishes.
+    [[nodiscard]] double vtime() const;
+
+    [[nodiscard]] Device& device() const { return *mDevice; }
+    [[nodiscard]] int     id() const { return mId; }
+    [[nodiscard]] Engine& engine() const { return *mEngine; }
+
+    /// Engine-private per-stream state, owned here for lifetime simplicity.
+    std::shared_ptr<void> engineState;
+
+   private:
+    Engine* mEngine;
+    Device* mDevice;
+    int     mId;
+};
+
+/// Execution engine interface: how enqueued ops are processed. Two
+/// implementations exist (DESIGN.md §4): a deterministic sequential
+/// discrete-event engine and a threaded engine with real cross-stream
+/// synchronization used to validate scheduler correctness.
+class Engine
+{
+   public:
+    virtual ~Engine() = default;
+
+    virtual void attach(Stream& stream) = 0;
+    virtual void detach(Stream& stream) = 0;
+    virtual void enqueue(Stream& stream, Op op) = 0;
+    virtual void sync(Stream& stream) = 0;
+    virtual void syncAll() = 0;
+
+    [[nodiscard]] virtual double streamVtime(const Stream& stream) const = 0;
+    /// Max vtime across every stream (virtual makespan of the work so far).
+    [[nodiscard]] virtual double maxVtime() const = 0;
+    /// Zero every stream/device clock (between measured runs).
+    virtual void resetClocks() = 0;
+
+    [[nodiscard]] virtual bool isSequential() const = 0;
+
+    [[nodiscard]] Trace& trace() { return mTrace; }
+
+   protected:
+    Trace mTrace;
+};
+
+}  // namespace neon::sys

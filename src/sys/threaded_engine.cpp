@@ -1,0 +1,206 @@
+#include "sys/threaded_engine.hpp"
+
+#include <algorithm>
+
+#include "sys/device.hpp"
+
+namespace neon::sys {
+
+ThreadedEngine::State& ThreadedEngine::stateOf(const Stream& stream)
+{
+    return *static_cast<State*>(stream.engineState.get());
+}
+
+ThreadedEngine::~ThreadedEngine() = default;
+
+void ThreadedEngine::attach(Stream& stream)
+{
+    auto state = std::make_shared<State>();
+    stream.engineState = state;
+    state->worker = std::thread([this, &stream, s = state.get()] { workerLoop(&stream, s); });
+    std::lock_guard<std::mutex> lock(mRegistryMutex);
+    mStreams.insert(&stream);
+    mDevices.insert(&stream.device());
+}
+
+void ThreadedEngine::detach(Stream& stream)
+{
+    State& st = stateOf(stream);
+    {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        st.stop = true;
+    }
+    st.cvWork.notify_all();
+    if (st.worker.joinable()) {
+        st.worker.join();
+    }
+    std::lock_guard<std::mutex> lock(mRegistryMutex);
+    mStreams.erase(&stream);
+}
+
+void ThreadedEngine::enqueue(Stream& stream, Op op)
+{
+    State& st = stateOf(stream);
+    {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        st.queue.push_back(std::move(op));
+    }
+    st.cvWork.notify_one();
+}
+
+void ThreadedEngine::workerLoop(Stream* stream, State* state)
+{
+    for (;;) {
+        Op op;
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            state->cvWork.wait(lock, [state] { return state->stop || !state->queue.empty(); });
+            if (state->queue.empty()) {
+                if (state->stop) {
+                    return;
+                }
+                continue;
+            }
+            op = std::move(state->queue.front());
+            state->queue.pop_front();
+            state->busy = true;
+        }
+        process(*stream, *state, op);
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->busy = false;
+        }
+        state->cvIdle.notify_all();
+    }
+}
+
+void ThreadedEngine::process(Stream& stream, State& state, Op& op)
+{
+    Device&          dev = stream.device();
+    const SimConfig& cfg = dev.config();
+
+    if (auto* k = std::get_if<KernelOp>(&op)) {
+        double start = 0.0;
+        double end = 0.0;
+        {
+            std::lock_guard<std::mutex> lock(mClockMutex);
+            start = std::max(state.vtime, dev.computeAvailable);
+            end = start + kernelDuration(cfg, k->items, k->hint);
+            state.vtime = end;
+            dev.computeAvailable = end;
+        }
+        if (!cfg.dryRun && k->body) {
+            k->body();
+        }
+        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end});
+        return;
+    }
+    if (auto* t = std::get_if<TransferOp>(&op)) {
+        double dirEnd[2] = {0.0, 0.0};
+        bool   dirUsed[2] = {false, false};
+        {
+            std::lock_guard<std::mutex> lock(mClockMutex);
+            double end = state.vtime;
+            for (const auto& chunk : t->chunks) {
+                const int dir = chunk.direction != 0 ? 1 : 0;
+                if (!dirUsed[dir]) {
+                    dirEnd[dir] = std::max(state.vtime, dev.copyAvailable[dir]);
+                    dirUsed[dir] = true;
+                }
+                dirEnd[dir] += transferDuration(cfg, chunk.bytes);
+            }
+            for (int dir = 0; dir < 2; ++dir) {
+                if (dirUsed[dir]) {
+                    dev.copyAvailable[dir] = dirEnd[dir];
+                    end = std::max(end, dirEnd[dir]);
+                }
+            }
+            state.vtime = end;
+        }
+        if (!cfg.dryRun) {
+            for (const auto& chunk : t->chunks) {
+                if (chunk.copy) {
+                    chunk.copy();
+                }
+            }
+        }
+        mTrace.add({dev.id(), stream.id(), "transfer", t->name, dirEnd[0], dirEnd[1]});
+        return;
+    }
+    if (auto* h = std::get_if<HostFnOp>(&op)) {
+        double start = 0.0;
+        {
+            std::lock_guard<std::mutex> lock(mClockMutex);
+            start = state.vtime;
+            state.vtime += h->simDuration;
+        }
+        if (!cfg.dryRun && h->fn) {
+            h->fn();
+        }
+        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, start + h->simDuration});
+        return;
+    }
+    if (auto* r = std::get_if<RecordOp>(&op)) {
+        double v = 0.0;
+        {
+            std::lock_guard<std::mutex> lock(mClockMutex);
+            v = state.vtime;
+        }
+        r->event->record(v);
+        return;
+    }
+    if (auto* w = std::get_if<WaitOp>(&op)) {
+        const double evTime = w->event->blockUntilRecorded();
+        std::lock_guard<std::mutex> lock(mClockMutex);
+        state.vtime = std::max(state.vtime, evTime);
+        return;
+    }
+}
+
+void ThreadedEngine::sync(Stream& stream)
+{
+    State& st = stateOf(stream);
+    std::unique_lock<std::mutex> lock(st.mutex);
+    st.cvIdle.wait(lock, [&st] { return st.queue.empty() && !st.busy; });
+}
+
+void ThreadedEngine::syncAll()
+{
+    std::vector<Stream*> streams;
+    {
+        std::lock_guard<std::mutex> lock(mRegistryMutex);
+        streams.assign(mStreams.begin(), mStreams.end());
+    }
+    for (Stream* s : streams) {
+        sync(*s);
+    }
+}
+
+double ThreadedEngine::streamVtime(const Stream& stream) const
+{
+    std::lock_guard<std::mutex> lock(mClockMutex);
+    return stateOf(stream).vtime;
+}
+
+double ThreadedEngine::maxVtime() const
+{
+    std::scoped_lock lock(mRegistryMutex, mClockMutex);
+    double v = 0.0;
+    for (const Stream* s : mStreams) {
+        v = std::max(v, stateOf(*s).vtime);
+    }
+    return v;
+}
+
+void ThreadedEngine::resetClocks()
+{
+    std::scoped_lock lock(mRegistryMutex, mClockMutex);
+    for (Stream* s : mStreams) {
+        stateOf(*s).vtime = 0.0;
+    }
+    for (Device* d : mDevices) {
+        d->resetClocks();
+    }
+}
+
+}  // namespace neon::sys

@@ -1,0 +1,58 @@
+#pragma once
+// Threaded engine: one worker thread per stream, real condition-variable
+// event waits. Functionally equivalent to the sequential engine but with
+// genuine cross-stream concurrency — used to validate that the Skeleton's
+// event placement is sufficient for correctness (a missing event shows up
+// as a data race/wrong result or a deadlock, not as silent luck).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "sys/stream.hpp"
+
+namespace neon::sys {
+
+class ThreadedEngine final : public Engine
+{
+   public:
+    ~ThreadedEngine() override;
+
+    void attach(Stream& stream) override;
+    void detach(Stream& stream) override;
+    void enqueue(Stream& stream, Op op) override;
+    void sync(Stream& stream) override;
+    void syncAll() override;
+
+    [[nodiscard]] double streamVtime(const Stream& stream) const override;
+    [[nodiscard]] double maxVtime() const override;
+    void resetClocks() override;
+
+    [[nodiscard]] bool isSequential() const override { return false; }
+
+   private:
+    struct State
+    {
+        std::deque<Op>          queue;
+        std::mutex              mutex;
+        std::condition_variable cvWork;
+        std::condition_variable cvIdle;
+        bool                    stop = false;
+        bool                    busy = false;
+        double                  vtime = 0.0;  ///< guarded by engine clock mutex
+        std::thread             worker;
+    };
+    static State& stateOf(const Stream& stream);
+
+    void workerLoop(Stream* stream, State* state);
+    void process(Stream& stream, State& state, Op& op);
+
+    mutable std::mutex          mClockMutex;  ///< guards vtimes + device clocks
+    mutable std::mutex          mRegistryMutex;
+    std::unordered_set<Stream*> mStreams;
+    std::unordered_set<Device*> mDevices;
+};
+
+}  // namespace neon::sys

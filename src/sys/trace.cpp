@@ -1,0 +1,76 @@
+#include "sys/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace neon::sys {
+
+void Trace::enable(bool on)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mEnabled = on;
+}
+
+void Trace::add(TraceEntry entry)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    if (mEnabled) {
+        mEntries.push_back(std::move(entry));
+    }
+}
+
+void Trace::clear()
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mEntries.clear();
+}
+
+std::vector<TraceEntry> Trace::entries() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mEntries;
+}
+
+std::string Trace::gantt(int columns) const
+{
+    const auto entries = this->entries();
+    if (entries.empty()) {
+        return "(empty trace)\n";
+    }
+    double tEnd = 0.0;
+    for (const auto& e : entries) {
+        tEnd = std::max(tEnd, e.endV);
+    }
+    if (tEnd <= 0.0) {
+        tEnd = 1.0;
+    }
+
+    // Group rows by (device, stream) and lay entries on a character raster.
+    std::map<std::pair<int, int>, std::string> rows;
+    for (const auto& e : entries) {
+        auto& row = rows[{e.device, e.stream}];
+        if (row.empty()) {
+            row.assign(static_cast<size_t>(columns), '.');
+        }
+        int c0 = static_cast<int>(std::floor(e.startV / tEnd * columns));
+        int c1 = static_cast<int>(std::ceil(e.endV / tEnd * columns));
+        c0 = std::clamp(c0, 0, columns - 1);
+        c1 = std::clamp(c1, c0 + 1, columns);
+        const char glyph = e.kind == "transfer" ? '~' : (e.kind == "hostFn" ? '#' : '=');
+        char label = e.name.empty() ? glyph : e.name.front();
+        for (int c = c0; c < c1; ++c) {
+            row[static_cast<size_t>(c)] = (c == c0) ? label : glyph;
+        }
+    }
+
+    std::ostringstream os;
+    os << "virtual timeline, total " << tEnd * 1e6 << " us ('=' kernel, '~' transfer, '#' host)\n";
+    for (const auto& [key, row] : rows) {
+        os << "dev" << key.first << "/s" << key.second << " |" << row << "|\n";
+    }
+    return os.str();
+}
+
+}  // namespace neon::sys

@@ -1,0 +1,42 @@
+#pragma once
+// Execution trace of the virtual timeline. Used by tests (to assert that
+// communication really overlapped computation) and by the Fig. 1 timeline
+// example to render a text Gantt chart.
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neon::sys {
+
+struct TraceEntry
+{
+    int         device = 0;
+    int         stream = 0;
+    std::string kind;  ///< "kernel" | "transfer" | "hostFn"
+    std::string name;
+    double      startV = 0.0;
+    double      endV = 0.0;
+};
+
+class Trace
+{
+   public:
+    void enable(bool on);
+    [[nodiscard]] bool enabled() const { return mEnabled; }
+
+    void add(TraceEntry entry);
+    void clear();
+
+    [[nodiscard]] std::vector<TraceEntry> entries() const;
+
+    /// Render a per-(device,stream) text Gantt chart of the virtual timeline.
+    [[nodiscard]] std::string gantt(int columns = 100) const;
+
+   private:
+    mutable std::mutex      mMutex;
+    bool                    mEnabled = false;
+    std::vector<TraceEntry> mEntries;
+};
+
+}  // namespace neon::sys

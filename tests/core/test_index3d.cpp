@@ -1,0 +1,68 @@
+#include "core/index3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace neon {
+
+TEST(Index3d, SizeAndPitch)
+{
+    index_3d dim{4, 5, 6};
+    EXPECT_EQ(dim.size(), 120u);
+    EXPECT_EQ(dim.pitch({0, 0, 0}), 0u);
+    EXPECT_EQ(dim.pitch({1, 0, 0}), 1u);
+    EXPECT_EQ(dim.pitch({0, 1, 0}), 4u);
+    EXPECT_EQ(dim.pitch({0, 0, 1}), 20u);
+    EXPECT_EQ(dim.pitch({3, 4, 5}), 119u);
+}
+
+TEST(Index3d, PitchRoundTrip)
+{
+    index_3d dim{3, 7, 5};
+    for (size_t flat = 0; flat < dim.size(); ++flat) {
+        EXPECT_EQ(dim.pitch(dim.fromPitch(flat)), flat);
+    }
+}
+
+TEST(Index3d, Contains)
+{
+    index_3d dim{2, 2, 2};
+    EXPECT_TRUE(dim.contains({0, 0, 0}));
+    EXPECT_TRUE(dim.contains({1, 1, 1}));
+    EXPECT_FALSE(dim.contains({2, 0, 0}));
+    EXPECT_FALSE(dim.contains({0, -1, 0}));
+    EXPECT_FALSE(dim.contains({0, 0, 2}));
+}
+
+TEST(Index3d, Arithmetic)
+{
+    index_3d a{1, 2, 3};
+    index_3d b{4, 5, 6};
+    EXPECT_EQ(a + b, (index_3d{5, 7, 9}));
+    EXPECT_EQ(b - a, (index_3d{3, 3, 3}));
+    EXPECT_EQ(a * 2, (index_3d{2, 4, 6}));
+}
+
+TEST(Index3d, ForEachVisitsAllOnce)
+{
+    index_3d                     dim{3, 4, 2};
+    std::unordered_set<index_3d> seen;
+    dim.forEach([&](const index_3d& c) {
+        EXPECT_TRUE(dim.contains(c));
+        EXPECT_TRUE(seen.insert(c).second) << "duplicate visit";
+    });
+    EXPECT_EQ(seen.size(), dim.size());
+}
+
+TEST(Index3d, ZyxLessMatchesEnumerationOrder)
+{
+    index_3d              dim{2, 2, 2};
+    std::vector<index_3d> order;
+    dim.forEach([&](const index_3d& c) { order.push_back(c); });
+    for (size_t i = 1; i < order.size(); ++i) {
+        EXPECT_TRUE(order[i - 1].zyxLess(order[i]));
+    }
+}
+
+}  // namespace neon

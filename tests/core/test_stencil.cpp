@@ -1,0 +1,69 @@
+#include "core/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace neon {
+
+TEST(Stencil, Laplace7)
+{
+    auto s = Stencil::laplace7();
+    EXPECT_EQ(s.pointCount(), 6);
+    EXPECT_EQ(s.zRadius(), 1);
+    EXPECT_EQ(s.radius(), 1);
+    EXPECT_GE(s.findPoint({0, 0, 1}), 0);
+    EXPECT_EQ(s.findPoint({1, 1, 0}), -1);
+}
+
+TEST(Stencil, Box27HasAllNeighbours)
+{
+    auto s = Stencil::box27();
+    EXPECT_EQ(s.pointCount(), 26);
+    for (int z = -1; z <= 1; ++z) {
+        for (int y = -1; y <= 1; ++y) {
+            for (int x = -1; x <= 1; ++x) {
+                if (x || y || z) {
+                    EXPECT_GE(s.findPoint({x, y, z}), 0);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(s.findPoint({0, 0, 0}), -1);
+}
+
+TEST(Stencil, LbmD3Q19Has18Directions)
+{
+    auto s = Stencil::lbmD3Q19();
+    EXPECT_EQ(s.pointCount(), 18);
+    // No corner (3 non-zero) directions in D3Q19.
+    EXPECT_EQ(s.findPoint({1, 1, 1}), -1);
+    EXPECT_GE(s.findPoint({1, 1, 0}), 0);
+    EXPECT_GE(s.findPoint({0, -1, 1}), 0);
+}
+
+TEST(Stencil, LbmD2Q9IsPlanar)
+{
+    auto s = Stencil::lbmD2Q9();
+    EXPECT_EQ(s.pointCount(), 8);
+    EXPECT_EQ(s.zRadius(), 0);
+    for (const auto& p : s.points()) {
+        EXPECT_EQ(p.z, 0);
+    }
+}
+
+TEST(Stencil, UnionDeduplicates)
+{
+    auto u = Stencil::unionOf({Stencil::laplace7(), Stencil::box27()});
+    EXPECT_EQ(u.pointCount(), 26);  // laplace7 is a subset of box27
+    EXPECT_EQ(u.zRadius(), 1);
+}
+
+TEST(Stencil, EmptyStencilHasZeroRadius)
+{
+    Stencil s;
+    EXPECT_EQ(s.pointCount(), 0);
+    EXPECT_EQ(s.zRadius(), 0);
+}
+
+}  // namespace neon

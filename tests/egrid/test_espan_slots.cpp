@@ -1,0 +1,66 @@
+// EPartition slot-based neighbour access and the offset->slot LUT.
+
+#include <gtest/gtest.h>
+
+#include "dgrid/dgrid.hpp"
+#include "egrid/efield.hpp"
+#include "set/container.hpp"
+
+namespace neon::egrid {
+
+using set::Backend;
+
+TEST(ESlots, NghDataSlotMatchesOffsetAccess)
+{
+    const index_3d dim{6, 6, 12};
+    EGrid grid(Backend::cpu(2), dim, [](const index_3d& g) { return (g.x + g.z) % 4 != 0; },
+               Stencil::laplace7());
+    auto f = grid.newField<double>("f", 1, -1.0);
+    f.forEachActiveHost([](const index_3d& g, int, double& v) { v = g.x + 10.0 * g.z; });
+    f.updateDev();
+    set::StreamSet streams(grid.backend(), 0);
+    set::Container::haloUpdate(f.haloOps()).run(streams);
+    grid.backend().sync();
+
+    const auto& pts = grid.stencil().points();
+    for (int d = 0; d < 2; ++d) {
+        auto part = f.getPartition(d);
+        grid.span(d, DataView::STANDARD).forEach([&](const ECell& cell) {
+            for (size_t s = 0; s < pts.size(); ++s) {
+                const auto bySlot = part.nghDataSlot(cell, static_cast<int32_t>(s), 0);
+                const auto byOff = part.nghData(cell, pts[s], 0);
+                EXPECT_EQ(bySlot.isValid, byOff.isValid);
+                EXPECT_DOUBLE_EQ(bySlot.value, byOff.value);
+            }
+        });
+    }
+}
+
+TEST(ESlots, OffsetOutsideLutReturnsOutside)
+{
+    const index_3d dim{6, 6, 12};
+    EGrid grid(Backend::cpu(1), dim, [](const index_3d&) { return true; },
+               Stencil::laplace7());
+    auto f = grid.newField<double>("f", 1, -5.0);
+    auto part = f.getPartition(0);
+    // (2,0,0) is beyond the LUT radius of the 7-point stencil.
+    const auto far = part.nghData(ECell{0}, {2, 0, 0}, 0);
+    EXPECT_FALSE(far.isValid);
+    EXPECT_DOUBLE_EQ(far.value, -5.0);
+    // (1,1,0) is inside the LUT box but not a registered stencil point.
+    const auto diag = part.nghData(ECell{0}, {1, 1, 0}, 0);
+    EXPECT_FALSE(diag.isValid);
+}
+
+TEST(ESlots, MultiStencilUnionConstructor)
+{
+    const index_3d dim{6, 6, 12};
+    EGrid grid(Backend::cpu(1), dim, [](const index_3d&) { return true; },
+               std::vector<Stencil>{Stencil::laplace7(), Stencil::box27()});
+    EXPECT_EQ(grid.stencilPointCount(), 26);  // union = box27
+    dgrid::DGrid dense(Backend::cpu(1), dim,
+                       std::vector<Stencil>{Stencil::laplace7(), Stencil::box27()});
+    EXPECT_EQ(dense.stencil().pointCount(), 26);
+}
+
+}  // namespace neon::egrid

@@ -1,0 +1,140 @@
+// Element stiffness properties: symmetry, positive semi-definiteness via
+// rigid-body null space, scaling with h and E, and the node-stencil table
+// consistency against direct element assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/elasticity.hpp"
+
+namespace neon::fem {
+
+TEST(Hex8, StiffnessIsSymmetric)
+{
+    const auto K = hex8Stiffness({1.0, 0.3}, 1.0);
+    for (int i = 0; i < 24; ++i) {
+        for (int j = 0; j < 24; ++j) {
+            EXPECT_NEAR(K[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                        K[static_cast<size_t>(j)][static_cast<size_t>(i)], 1e-12);
+        }
+    }
+}
+
+TEST(Hex8, RigidTranslationIsInNullSpace)
+{
+    const auto K = hex8Stiffness({2.0, 0.25}, 0.5);
+    for (int d = 0; d < 3; ++d) {
+        // u = unit translation along axis d.
+        for (int i = 0; i < 24; ++i) {
+            double acc = 0.0;
+            for (int a = 0; a < 8; ++a) {
+                acc += K[static_cast<size_t>(i)][static_cast<size_t>(3 * a + d)];
+            }
+            EXPECT_NEAR(acc, 0.0, 1e-12) << "row " << i << " axis " << d;
+        }
+    }
+}
+
+TEST(Hex8, RigidRotationIsInNullSpace)
+{
+    const double h = 1.0;
+    const auto   K = hex8Stiffness({1.0, 0.3}, h);
+    // Rotation about z: u = (-y, x, 0) at each corner.
+    std::array<double, 24> u{};
+    for (int a = 0; a < 8; ++a) {
+        const auto c = hex8Corner(a);
+        u[static_cast<size_t>(3 * a + 0)] = -c[1] * h;
+        u[static_cast<size_t>(3 * a + 1)] = c[0] * h;
+    }
+    for (int i = 0; i < 24; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < 24; ++j) {
+            acc += K[static_cast<size_t>(i)][static_cast<size_t>(j)] * u[static_cast<size_t>(j)];
+        }
+        EXPECT_NEAR(acc, 0.0, 1e-10);
+    }
+}
+
+TEST(Hex8, QuadraticFormIsNonNegative)
+{
+    const auto K = hex8Stiffness({1.0, 0.3}, 1.0);
+    // A few deterministic displacement vectors.
+    for (int seed = 1; seed <= 5; ++seed) {
+        std::array<double, 24> u{};
+        for (int i = 0; i < 24; ++i) {
+            u[static_cast<size_t>(i)] = std::sin(0.7 * seed * (i + 1));
+        }
+        double q = 0.0;
+        for (int i = 0; i < 24; ++i) {
+            for (int j = 0; j < 24; ++j) {
+                q += u[static_cast<size_t>(i)] *
+                     K[static_cast<size_t>(i)][static_cast<size_t>(j)] *
+                     u[static_cast<size_t>(j)];
+            }
+        }
+        EXPECT_GE(q, -1e-10);
+    }
+}
+
+TEST(Hex8, StiffnessScalesLinearlyWithHAndE)
+{
+    const auto K1 = hex8Stiffness({1.0, 0.3}, 1.0);
+    const auto K2 = hex8Stiffness({1.0, 0.3}, 2.0);
+    const auto K3 = hex8Stiffness({5.0, 0.3}, 1.0);
+    EXPECT_NEAR(K2[0][0], 2.0 * K1[0][0], 1e-12);
+    EXPECT_NEAR(K3[0][0], 5.0 * K1[0][0], 1e-12);
+}
+
+TEST(NodeStencilTable, FullMaskMatchesElementSum)
+{
+    // With all 8 elements active, the centre block must equal the sum of
+    // the 8 diagonal element blocks.
+    const Material material{1.0, 0.3};
+    const double   h = 1.0;
+    const auto     Ke = hex8Stiffness(material, h);
+    NodeStencilTable table(material, h);
+
+    double expect[9] = {};
+    for (int c = 0; c < 8; ++c) {
+        const auto o = NodeStencilTable::cornerOrigin(c);
+        const int  la = (-o[0]) + 2 * (-o[1]) + 4 * (-o[2]);
+        for (int r = 0; r < 3; ++r) {
+            for (int s = 0; s < 3; ++s) {
+                expect[r * 3 + s] +=
+                    Ke[static_cast<size_t>(3 * la + r)][static_cast<size_t>(3 * la + s)];
+            }
+        }
+    }
+    const double* centre = table.block(255, nghSlot(0, 0, 0));
+    for (int k = 0; k < 9; ++k) {
+        EXPECT_NEAR(centre[k], expect[k], 1e-12);
+    }
+}
+
+TEST(NodeStencilTable, EmptyMaskIsZero)
+{
+    NodeStencilTable table({1.0, 0.3}, 1.0);
+    for (int slot = 0; slot < 27; ++slot) {
+        const double* blk = table.block(0, slot);
+        for (int k = 0; k < 9; ++k) {
+            EXPECT_EQ(blk[k], 0.0);
+        }
+    }
+}
+
+TEST(NodeStencilTable, MaskIsAdditive)
+{
+    NodeStencilTable table({1.0, 0.3}, 1.0);
+    for (int slot = 0; slot < 27; ++slot) {
+        for (int k = 0; k < 9; ++k) {
+            double sum = 0.0;
+            for (int c = 0; c < 8; ++c) {
+                sum += table.block(1 << c, slot)[k];
+            }
+            EXPECT_NEAR(table.block(255, slot)[k], sum, 1e-12);
+        }
+    }
+}
+
+}  // namespace neon::fem

@@ -1,0 +1,82 @@
+// Native D3Q19 baselines: variant equivalences. Fused and TwoPopIdx are
+// bit-identical by construction; the AA pattern is validated against the
+// fused variant on a periodic domain (where halfway bounce-back does not
+// interfere) and for mass conservation on the cavity.
+
+#include <gtest/gtest.h>
+
+#include "lbm/native3d.hpp"
+
+namespace neon::lbm::native {
+
+namespace {
+constexpr index_3d kDim{10, 10, 10};
+constexpr double   kTau = 0.7;
+}  // namespace
+
+TEST(NativeLbm, FusedAndIndexedAreBitIdentical)
+{
+    NativeCavityD3Q19<float> a(kDim, kTau, 0.08, Variant::Fused);
+    NativeCavityD3Q19<float> b(kDim, kTau, 0.08, Variant::TwoPopIdx);
+    a.run(6);
+    b.run(6);
+    kDim.forEach([&](const index_3d& g) {
+        const auto ma = a.macroAt(g);
+        const auto mb = b.macroAt(g);
+        ASSERT_EQ(ma.rho, mb.rho) << g.to_string();
+        ASSERT_EQ(ma.u[0], mb.u[0]);
+        ASSERT_EQ(ma.u[2], mb.u[2]);
+    });
+}
+
+TEST(NativeLbm, AAMatchesFusedOnPeriodicDomain)
+{
+    // A deterministic density perturbation gives streaming a non-trivial
+    // state; the AA addressing must then reproduce the two-population
+    // evolution exactly at even iteration counts.
+    NativeCavityD3Q19<double> a(kDim, kTau, 0.0, Variant::Fused, Boundary::Periodic);
+    NativeCavityD3Q19<double> b(kDim, kTau, 0.0, Variant::AA, Boundary::Periodic);
+    a.perturbDensity(0.01);
+    b.perturbDensity(0.01);
+    a.run(4);
+    b.run(4);
+    kDim.forEach([&](const index_3d& g) {
+        const auto ma = a.macroAt(g);
+        const auto mb = b.macroAt(g);
+        ASSERT_NEAR(ma.rho, mb.rho, 1e-12) << g.to_string();
+        ASSERT_NEAR(ma.u[0], mb.u[0], 1e-12) << g.to_string();
+        ASSERT_NEAR(ma.u[2], mb.u[2], 1e-12) << g.to_string();
+    });
+}
+
+TEST(NativeLbm, AAConservesMassOnCavity)
+{
+    NativeCavityD3Q19<double> aa(kDim, kTau, 0.0, Variant::AA);
+    const double m0 = aa.totalMass();
+    aa.run(10);
+    EXPECT_NEAR(aa.totalMass(), m0, m0 * 1e-12);
+}
+
+TEST(NativeLbm, AADevelopsLidFlow)
+{
+    NativeCavityD3Q19<double> aa(kDim, kTau, 0.1, Variant::AA);
+    NativeCavityD3Q19<double> fused(kDim, kTau, 0.1, Variant::Fused);
+    aa.run(40);
+    fused.run(40);
+    const auto ma = aa.macroAt({5, 5, kDim.z - 2});
+    const auto mf = fused.macroAt({5, 5, kDim.z - 2});
+    EXPECT_GT(ma.u[0], 1e-4);
+    // AA and twoPop bounce-back differ at half-way walls by one time-step
+    // of lag; the developed flow must still agree to a few percent.
+    EXPECT_NEAR(ma.u[0], mf.u[0], std::abs(mf.u[0]) * 0.2 + 1e-4);
+}
+
+TEST(NativeLbm, MassConservedWithLid)
+{
+    NativeCavityD3Q19<double> fused(kDim, kTau, 0.1, Variant::Fused);
+    const double m0 = fused.totalMass();
+    fused.run(20);
+    EXPECT_NEAR(fused.totalMass(), m0, m0 * 1e-10);
+}
+
+}  // namespace neon::lbm::native

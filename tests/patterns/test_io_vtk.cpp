@@ -1,0 +1,120 @@
+// VTK export: header structure, value round-trip, sparse outside handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dgrid/dfield.hpp"
+#include "egrid/efield.hpp"
+#include "patterns/io_vtk.hpp"
+
+namespace neon::patterns {
+
+using set::Backend;
+
+namespace {
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream     is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+struct TmpFile
+{
+    std::string path;
+    explicit TmpFile(const char* name) : path(std::string(::testing::TempDir()) + name) {}
+    ~TmpFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(IoVtk, WritesStructuredPointsHeader)
+{
+    dgrid::DGrid grid(Backend::cpu(2), {3, 4, 6}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 1, 0.0);
+    f.forEachHost([](const index_3d& g, int, double& v) { v = g.x; });
+
+    TmpFile tmp("vtk_dense.vtk");
+    ioToVtk(f, tmp.path, "myfield");
+    const auto content = slurp(tmp.path);
+    EXPECT_NE(content.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+    EXPECT_NE(content.find("DIMENSIONS 3 4 6"), std::string::npos);
+    EXPECT_NE(content.find("POINT_DATA 72"), std::string::npos);
+    EXPECT_NE(content.find("SCALARS myfield double 1"), std::string::npos);
+}
+
+TEST(IoVtk, VectorFieldWritesOneArrayPerComponent)
+{
+    dgrid::DGrid grid(Backend::cpu(1), {2, 2, 2}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 3, 0.0);
+    TmpFile      tmp("vtk_vec.vtk");
+    ioToVtk(f, tmp.path, "vel");
+    const auto content = slurp(tmp.path);
+    EXPECT_NE(content.find("SCALARS vel_0 double 1"), std::string::npos);
+    EXPECT_NE(content.find("SCALARS vel_1 double 1"), std::string::npos);
+    EXPECT_NE(content.find("SCALARS vel_2 double 1"), std::string::npos);
+}
+
+TEST(IoVtk, ValuesRoundTripInXFastestOrder)
+{
+    dgrid::DGrid grid(Backend::cpu(2), {2, 1, 4}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 1, 0.0);
+    f.forEachHost([](const index_3d& g, int, double& v) { v = 10.0 * g.z + g.x; });
+    TmpFile tmp("vtk_vals.vtk");
+    ioToVtk(f, tmp.path, "f");
+
+    std::ifstream is(tmp.path);
+    std::string   line;
+    while (std::getline(is, line) && line != "LOOKUP_TABLE default") {
+    }
+    std::vector<double> vals;
+    double              v = 0;
+    while (is >> v) {
+        vals.push_back(v);
+    }
+    ASSERT_EQ(vals.size(), 8u);
+    // VTK expects x fastest: (0,0,0) (1,0,0) (0,0,1) (1,0,1) ...
+    EXPECT_DOUBLE_EQ(vals[0], 0.0);
+    EXPECT_DOUBLE_EQ(vals[1], 1.0);
+    EXPECT_DOUBLE_EQ(vals[2], 10.0);
+    EXPECT_DOUBLE_EQ(vals[3], 11.0);
+    EXPECT_DOUBLE_EQ(vals[7], 31.0);
+}
+
+TEST(IoVtk, SparseGridUsesOutsideValueForInactiveCells)
+{
+    egrid::EGrid grid(Backend::cpu(1), {2, 2, 2},
+                      [](const index_3d& g) { return g.x == 0; }, Stencil::laplace7());
+    auto f = grid.newField<double>("f", 1, -1.0);
+    f.forEachActiveHost([](const index_3d&, int, double& v) { v = 5.0; });
+    TmpFile tmp("vtk_sparse.vtk");
+    ioToVtk(f, tmp.path, "f");
+
+    std::ifstream is(tmp.path);
+    std::string   line;
+    while (std::getline(is, line) && line != "LOOKUP_TABLE default") {
+    }
+    std::vector<double> vals;
+    double              v = 0;
+    while (is >> v) {
+        vals.push_back(v);
+    }
+    ASSERT_EQ(vals.size(), 8u);
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(vals[i], i % 2 == 0 ? 5.0 : -1.0);  // x==0 active
+    }
+}
+
+TEST(IoVtk, UnwritablePathThrows)
+{
+    dgrid::DGrid grid(Backend::cpu(1), {2, 2, 2}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 1, 0.0);
+    EXPECT_THROW(ioToVtk(f, "/nonexistent-dir/x.vtk", "f"), NeonException);
+}
+
+}  // namespace neon::patterns

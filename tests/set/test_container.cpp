@@ -1,0 +1,146 @@
+// Container parsing (access records, pattern deduction, cost hints) and
+// manual Set-level execution on a DGrid.
+
+#include <gtest/gtest.h>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+
+namespace neon {
+
+using set::Backend;
+using set::Container;
+using set::StreamSet;
+
+namespace {
+
+dgrid::DGrid makeGrid(int nDev, index_3d dim = {8, 8, 8})
+{
+    return dgrid::DGrid(Backend::cpu(nDev), dim, Stencil::laplace7());
+}
+
+}  // namespace
+
+TEST(Container, ParseRecordsMapAccesses)
+{
+    auto grid = makeGrid(1);
+    auto x = grid.newField<float>("x", 1, 0.0f);
+    auto y = grid.newField<float>("y", 1, 0.0f);
+
+    auto c = grid.newContainer("axpy", [&](set::Loader& l) {
+        auto xp = l.load(x, Access::READ);
+        auto yp = l.load(y, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { yp(cell) += 2.0f * xp(cell); };
+    });
+
+    const auto& acc = c.accesses();
+    ASSERT_EQ(acc.size(), 2u);
+    EXPECT_EQ(acc[0].uid, x.uid());
+    EXPECT_EQ(acc[0].access, Access::READ);
+    EXPECT_EQ(acc[0].compute, Compute::MAP);
+    EXPECT_EQ(acc[0].halo, nullptr);
+    EXPECT_EQ(acc[1].uid, y.uid());
+    EXPECT_EQ(acc[1].access, Access::WRITE);
+    EXPECT_EQ(c.pattern(), Compute::MAP);
+    EXPECT_EQ(c.kind(), Container::Kind::Compute);
+}
+
+TEST(Container, StencilReadCarriesHaloOpsAndPattern)
+{
+    auto grid = makeGrid(2);
+    auto x = grid.newField<float>("x", 1, 0.0f);
+    auto y = grid.newField<float>("y", 1, 0.0f);
+
+    auto c = grid.newContainer("laplace", [&](set::Loader& l) {
+        auto xp = l.load(x, Access::READ, Compute::STENCIL);
+        auto yp = l.load(y, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable {
+            float s = 0;
+            for (auto off : {index_3d{1, 0, 0}, index_3d{-1, 0, 0}}) {
+                s += xp.nghVal(cell, off);
+            }
+            yp(cell) = s;
+        };
+    });
+
+    EXPECT_EQ(c.pattern(), Compute::STENCIL);
+    ASSERT_NE(c.accesses()[0].halo, nullptr);
+    EXPECT_EQ(c.accesses()[0].halo->uid(), x.uid());
+    EXPECT_EQ(c.accesses()[0].halo->devCount(), 2);
+}
+
+TEST(Container, CostHintSumsFieldBytes)
+{
+    auto grid = makeGrid(1);
+    auto x = grid.newField<float>("x", 3, 0.0f);   // 12 B/cell
+    auto y = grid.newField<double>("y", 1, 0.0);   // 8 B/cell
+
+    auto c = grid.newContainer("op", [&](set::Loader& l) {
+        auto xp = l.load(x, Access::READ);
+        auto yp = l.load(y, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { yp(cell) = xp(cell, 0); };
+    });
+    EXPECT_DOUBLE_EQ(c.costHint().bytesPerItem, 20.0);
+}
+
+TEST(Container, MapExecutesOnAllDevices)
+{
+    auto grid = makeGrid(3, {4, 4, 9});
+    auto f = grid.newField<int>("f", 1, -1);
+    auto c = grid.newContainer("setZ", [&](set::Loader& l) {
+        auto fp = l.load(f, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable {
+            fp(cell) = fp.globalIdx(cell).z;
+        };
+    });
+
+    StreamSet streams(grid.backend(), 0);
+    c.run(streams);
+    grid.backend().sync();
+    f.updateHost();
+    grid.dim().forEach([&](const index_3d& g) { EXPECT_EQ(f.hVal(g), g.z); });
+}
+
+TEST(Container, ViewSplitCoversStandardExactlyOnce)
+{
+    auto grid = makeGrid(4, {4, 4, 16});
+    auto f = grid.newField<int>("f", 1, 0);
+    auto c = grid.newContainer("inc", [&](set::Loader& l) {
+        auto fp = l.load(f, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { fp(cell) += 1; };
+    });
+
+    StreamSet streams(grid.backend(), 0);
+    c.run(streams, DataView::INTERNAL);
+    c.run(streams, DataView::BOUNDARY);
+    grid.backend().sync();
+    f.updateHost();
+    // INTERNAL + BOUNDARY must partition STANDARD: every cell exactly once.
+    grid.dim().forEach([&](const index_3d& g) { EXPECT_EQ(f.hVal(g), 1) << g.to_string(); });
+}
+
+TEST(Container, ItemsMatchSpanCounts)
+{
+    auto grid = makeGrid(2, {4, 4, 8});
+    auto f = grid.newField<int>("f", 1, 0);
+    auto c = grid.newContainer("noop", [&](set::Loader& l) {
+        auto fp = l.load(f, Access::READ);
+        return [=](const dgrid::DCell&) {};
+    });
+    EXPECT_EQ(c.items(0, DataView::STANDARD), 4u * 4 * 4);
+    EXPECT_EQ(c.items(0, DataView::INTERNAL) + c.items(0, DataView::BOUNDARY),
+              c.items(0, DataView::STANDARD));
+}
+
+TEST(Container, HaloContainerWritesFieldUid)
+{
+    auto grid = makeGrid(2);
+    auto x = grid.newField<float>("x", 1, 0.0f);
+    auto h = Container::haloUpdate(x.haloOps());
+    EXPECT_EQ(h.kind(), Container::Kind::Halo);
+    ASSERT_EQ(h.accesses().size(), 1u);
+    EXPECT_EQ(h.accesses()[0].uid, x.uid());
+    EXPECT_EQ(h.accesses()[0].access, Access::WRITE);
+}
+
+}  // namespace neon

@@ -1,0 +1,126 @@
+#include "set/scalar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+#include "set/container.hpp"
+
+namespace neon {
+
+using set::Backend;
+using set::Container;
+using set::GlobalScalar;
+using set::StreamSet;
+
+TEST(GlobalScalar, SetBroadcastsToDevices)
+{
+    Backend               b = Backend::cpu(3);
+    GlobalScalar<double>  s(b, "alpha", 2.5);
+    EXPECT_DOUBLE_EQ(s.hostValue(), 2.5);
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_DOUBLE_EQ(s.getPartition(d, DataView::STANDARD)(), 2.5);
+    }
+    s.set(-1.0);
+    EXPECT_DOUBLE_EQ(s.getPartition(2, DataView::STANDARD)(), -1.0);
+}
+
+TEST(GlobalScalar, CombineSumsAllPartials)
+{
+    Backend              b = Backend::cpu(2);
+    GlobalScalar<double> s(b, "sum", 0.0);
+    s.setPartial(0, 0, 1.0);
+    s.setPartial(0, 1, 2.0);
+    s.setPartial(1, 0, 3.0);
+    s.setPartial(1, 1, 4.0);
+    s.combinePartials();
+    EXPECT_DOUBLE_EQ(s.hostValue(), 10.0);
+    EXPECT_DOUBLE_EQ(s.getPartition(1, DataView::STANDARD)(), 10.0);
+}
+
+TEST(GlobalScalar, ReduceContainerComputesDotProduct)
+{
+    auto backend = Backend::cpu(2);
+    dgrid::DGrid grid(backend, {4, 4, 8}, Stencil::laplace7());
+    auto x = grid.newField<double>("x", 1, 0.0);
+    auto y = grid.newField<double>("y", 1, 0.0);
+    x.forEachHost([](const index_3d&, int, double& v) { v = 2.0; });
+    y.forEachHost([](const index_3d&, int, double& v) { v = 3.0; });
+    x.updateDev();
+    y.updateDev();
+
+    GlobalScalar<double> result(backend, "dot", 0.0);
+    auto dot = Container::reduceFactory("dot", grid, result, [&](set::Loader& l) {
+        auto xp = l.load(x, Access::READ, Compute::REDUCE);
+        auto yp = l.load(y, Access::READ, Compute::REDUCE);
+        return [=](const dgrid::DCell& cell, double& acc) { acc += xp(cell) * yp(cell); };
+    });
+
+    EXPECT_TRUE(dot.isReduce());
+    EXPECT_EQ(dot.pattern(), Compute::REDUCE);
+
+    StreamSet streams(backend, 0);
+    dot.run(streams);
+    backend.sync();
+    EXPECT_DOUBLE_EQ(result.hostValue(), 6.0 * grid.dim().size());
+}
+
+TEST(GlobalScalar, ReduceOverViewsMatchesStandard)
+{
+    auto backend = Backend::cpu(4);
+    dgrid::DGrid grid(backend, {4, 4, 16}, Stencil::laplace7());
+    auto x = grid.newField<double>("x", 1, 0.0);
+    x.forEachHost([](const index_3d& g, int, double& v) { v = g.x + 10.0 * g.z; });
+    x.updateDev();
+
+    GlobalScalar<double> sumStd(backend, "s1", 0.0);
+    GlobalScalar<double> sumSplit(backend, "s2", 0.0);
+    auto makeSum = [&](GlobalScalar<double> out) {
+        return Container::reduceFactory("sum", grid, out, [&x](set::Loader& l) {
+            auto xp = l.load(x, Access::READ, Compute::REDUCE);
+            return [=](const dgrid::DCell& cell, double& acc) { acc += xp(cell); };
+        });
+    };
+    StreamSet streams(backend, 0);
+
+    auto cStd = makeSum(sumStd);
+    cStd.run(streams, DataView::STANDARD);
+    backend.sync();
+
+    auto cSplit = makeSum(sumSplit);
+    for (int d = 0; d < 4; ++d) {
+        cSplit.launch(d, streams[d], DataView::INTERNAL);
+        cSplit.launch(d, streams[d], DataView::BOUNDARY);
+    }
+    backend.sync();
+    cSplit.combineStep().launch(0, streams[0], DataView::STANDARD);
+    backend.sync();
+
+    EXPECT_DOUBLE_EQ(sumStd.hostValue(), sumSplit.hostValue());
+    EXPECT_GT(sumStd.hostValue(), 0.0);
+}
+
+TEST(GlobalScalar, ScalarOpComputesOnHost)
+{
+    Backend              b = Backend::cpu(2);
+    GlobalScalar<double> a(b, "a", 6.0);
+    GlobalScalar<double> c(b, "c", 2.0);
+    GlobalScalar<double> r(b, "r", 0.0);
+
+    auto op = Container::scalarOp<double>(
+        "r=a/c", b, {a, c}, {r}, [=]() mutable { r.set(a.hostValue() / c.hostValue()); });
+    EXPECT_EQ(op.kind(), Container::Kind::ScalarOp);
+
+    StreamSet streams(b, 0);
+    op.run(streams);
+    b.sync();
+    EXPECT_DOUBLE_EQ(r.hostValue(), 3.0);
+    EXPECT_DOUBLE_EQ(r.getPartition(1, DataView::STANDARD)(), 3.0);
+
+    const auto& acc = op.accesses();
+    ASSERT_EQ(acc.size(), 3u);
+    EXPECT_EQ(acc[2].uid, r.uid());
+    EXPECT_EQ(acc[2].access, Access::WRITE);
+}
+
+}  // namespace neon

@@ -1,0 +1,272 @@
+// End-to-end Skeleton execution: a map -> stencil -> reduce -> scalar ->
+// map pipeline iterated several times must produce identical results for
+// every (device count) x (OCC variant) x (engine) combination — the paper's
+// core promise that the runtime's distribution and optimizations never
+// change semantics. Also checks that OCC actually shortens the virtual
+// timeline on the simulated multi-GPU backend.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+#include "patterns/blas.hpp"
+#include "skeleton/skeleton.hpp"
+
+namespace neon::skeleton {
+
+using set::Backend;
+using set::Container;
+using set::GlobalScalar;
+
+namespace {
+
+constexpr index_3d kDim{6, 5, 16};
+constexpr int      kIters = 3;
+
+double initA(const index_3d& g)
+{
+    return 0.01 * g.x + 0.02 * g.y + 0.005 * g.z + 0.1;
+}
+
+/// Plain host reference of the pipeline (no Neon machinery).
+struct Reference
+{
+    std::vector<double> A, B, C;
+    double              s = 0.0;
+    double              alpha = 0.0;
+
+    Reference()
+        : A(kDim.size()), B(kDim.size()), C(kDim.size())
+    {
+        kDim.forEach([&](const index_3d& g) { A[kDim.pitch(g)] = initA(g); });
+        for (int it = 0; it < kIters; ++it) {
+            step();
+        }
+    }
+
+    void step()
+    {
+        kDim.forEach([&](const index_3d& g) { B[kDim.pitch(g)] = A[kDim.pitch(g)] + 1.0; });
+        kDim.forEach([&](const index_3d& g) {
+            double acc = -6.0 * B[kDim.pitch(g)];
+            for (const auto& off : Stencil::laplace7().points()) {
+                const index_3d n = g + off;
+                acc += kDim.contains(n) ? B[kDim.pitch(n)] : 0.0;
+            }
+            C[kDim.pitch(g)] = acc;
+        });
+        s = 0.0;
+        kDim.forEach([&](const index_3d& g) { s += B[kDim.pitch(g)] * C[kDim.pitch(g)]; });
+        alpha = s / (std::abs(s) + 100.0);
+        kDim.forEach([&](const index_3d& g) { A[kDim.pitch(g)] += alpha * C[kDim.pitch(g)]; });
+    }
+};
+
+struct RunResult
+{
+    std::vector<double> A;
+    double              s = 0.0;
+};
+
+RunResult runPipeline(int nDev, Occ occ, Backend::EngineKind engine,
+                      sys::SimConfig cfg = sys::SimConfig::zeroCost(),
+                      double* vtimeOut = nullptr, index_3d dim = kDim)
+{
+    Backend      backend(nDev, sys::DeviceType::CPU, cfg, engine);
+    dgrid::DGrid grid(backend, dim, Stencil::laplace7());
+    auto         A = grid.newField<double>("A", 1, 0.0);
+    auto         B = grid.newField<double>("B", 1, 0.0);
+    auto         C = grid.newField<double>("C", 1, 0.0);
+    GlobalScalar<double> s(backend, "s", 0.0);
+    GlobalScalar<double> alpha(backend, "alpha", 0.0);
+
+    A.forEachHost([](const index_3d& g, int, double& v) { v = initA(g); });
+    A.updateDev();
+
+    auto mapB = grid.newContainer("mapB", [&](set::Loader& l) {
+        auto a = l.load(A, Access::READ);
+        auto b = l.load(B, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { b(cell) = a(cell) + 1.0; };
+    });
+    auto stencilC = grid.newContainer("stencilC", [&](set::Loader& l) {
+        auto b = l.load(B, Access::READ, Compute::STENCIL);
+        auto c = l.load(C, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable {
+            double acc = -6.0 * b(cell);
+            for (const auto& off : Stencil::laplace7().points()) {
+                acc += b.nghVal(cell, off);
+            }
+            c(cell) = acc;
+        };
+    });
+    auto dotBC = patterns::dot(grid, B, C, s, "dotBC");
+    auto alphaOp = Container::scalarOp<double>(
+        "alpha", backend, {s}, {alpha},
+        [s, alpha]() mutable { alpha.set(s.hostValue() / (std::abs(s.hostValue()) + 100.0)); });
+    auto axpyA = patterns::axpy(grid, alpha, C, A, "axpyA");
+
+    Skeleton skl(backend);
+    skl.sequence({mapB, stencilC, dotBC, alphaOp, axpyA}, "pipeline", Options(occ));
+
+    const double v0 = backend.maxVtime();
+    for (int it = 0; it < kIters; ++it) {
+        skl.run();
+        skl.sync();
+    }
+    if (vtimeOut != nullptr) {
+        *vtimeOut = backend.maxVtime() - v0;
+    }
+
+    RunResult out;
+    A.updateHost();
+    out.A.resize(dim.size());
+    dim.forEach([&](const index_3d& g) { out.A[dim.pitch(g)] = A.hVal(g); });
+    out.s = s.hostValue();
+    return out;
+}
+
+}  // namespace
+
+using ExecCase = std::tuple<int, Occ, Backend::EngineKind>;
+
+class SkeletonExec : public ::testing::TestWithParam<ExecCase>
+{
+};
+
+TEST_P(SkeletonExec, MatchesHostReference)
+{
+    const auto [nDev, occ, engine] = GetParam();
+    static const Reference ref;
+
+    RunResult got = runPipeline(nDev, occ, engine);
+    EXPECT_NEAR(got.s, ref.s, std::abs(ref.s) * 1e-10 + 1e-10);
+    kDim.forEach([&](const index_3d& g) {
+        const double expect = ref.A[kDim.pitch(g)];
+        EXPECT_NEAR(got.A[kDim.pitch(g)], expect, std::abs(expect) * 1e-10 + 1e-12)
+            << g.to_string();
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkeletonExec,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(Occ::NONE, Occ::STANDARD, Occ::EXTENDED, Occ::TWO_WAY),
+                       ::testing::Values(Backend::EngineKind::Sequential,
+                                         Backend::EngineKind::Threaded)),
+    [](const auto& info) {
+        return "dev" + std::to_string(std::get<0>(info.param)) + "_" +
+               to_string(std::get<1>(info.param)) + "_" +
+               (std::get<2>(info.param) == Backend::EngineKind::Sequential ? "seq" : "thr");
+    });
+
+TEST(SkeletonVtime, OccShortensTheVirtualTimeline)
+{
+    // On the simulated DGX with 8 devices, overlapping halo transfers with
+    // internal compute must reduce the makespan (paper Fig. 7/8).
+    // Large enough that compute and transfers dwarf launch overheads.
+    sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    const index_3d dim{32, 32, 128};
+    double tNone = 0.0;
+    double tStd = 0.0;
+    runPipeline(8, Occ::NONE, Backend::EngineKind::Sequential, cfg, &tNone, dim);
+    runPipeline(8, Occ::STANDARD, Backend::EngineKind::Sequential, cfg, &tStd, dim);
+    EXPECT_LT(tStd, tNone);
+}
+
+TEST(SkeletonVtime, SingleDeviceOccIsFree)
+{
+    sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    double tNone = 0.0;
+    double tTwo = 0.0;
+    runPipeline(1, Occ::NONE, Backend::EngineKind::Sequential, cfg, &tNone);
+    runPipeline(1, Occ::TWO_WAY, Backend::EngineKind::Sequential, cfg, &tTwo);
+    EXPECT_DOUBLE_EQ(tNone, tTwo);
+}
+
+TEST(SkeletonVtime, TraceShowsCommunicationComputationOverlap)
+{
+    sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    Backend        backend(4, sys::DeviceType::CPU, cfg, Backend::EngineKind::Sequential);
+    dgrid::DGrid   grid(backend, {16, 16, 64}, Stencil::laplace7());
+    auto           B = grid.newField<double>("B", 1, 0.0);
+    auto           C = grid.newField<double>("C", 1, 0.0);
+
+    auto stencilC = grid.newContainer("stencil", [&](set::Loader& l) {
+        auto b = l.load(B, Access::READ, Compute::STENCIL);
+        auto c = l.load(C, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { c(cell) = b.nghVal(cell, {0, 0, 1}); };
+    });
+    auto mapB = grid.newContainer("map", [&](set::Loader& l) {
+        auto c = l.load(C, Access::READ);
+        auto b = l.load(B, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { b(cell) = c(cell) + 1.0; };
+    });
+
+    Skeleton skl(backend);
+    skl.sequence({mapB, stencilC}, "overlap", Options(Occ::STANDARD));
+    backend.trace().clear();
+    backend.trace().enable(true);
+    skl.run();
+    skl.sync();
+    backend.trace().enable(false);
+
+    // Some transfer interval must overlap some kernel interval on the same
+    // device — the definition of OCC.
+    bool overlapped = false;
+    const auto entries = backend.trace().entries();
+    for (const auto& t : entries) {
+        if (t.kind != "transfer") {
+            continue;
+        }
+        for (const auto& k : entries) {
+            if (k.kind == "kernel" && k.device == t.device && k.startV < t.endV &&
+                t.startV < k.endV) {
+                overlapped = true;
+            }
+        }
+    }
+    EXPECT_TRUE(overlapped);
+}
+
+TEST(SkeletonApi, RunBeforeSequenceThrows)
+{
+    Skeleton skl(Backend::cpu(1));
+    EXPECT_THROW(skl.run(), NeonException);
+}
+
+TEST(SkeletonApi, MismatchedBackendIsRejected)
+{
+    // A container built on a 2-device grid cannot run on a 4-device
+    // skeleton: its partitions and spans were sized for the wrong backend.
+    dgrid::DGrid grid(Backend::cpu(2), {4, 4, 8}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 1, 0.0);
+    auto c = grid.newContainer("touch", [&](set::Loader& l) {
+        auto fp = l.load(f, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { fp(cell) = 1.0; };
+    });
+    Skeleton skl(Backend::cpu(4));
+    EXPECT_THROW(skl.sequence({c}, "mismatch"), NeonException);
+}
+
+TEST(SkeletonApi, ReportMentionsTasksAndStreams)
+{
+    Backend      b = Backend::cpu(2);
+    dgrid::DGrid grid(b, {4, 4, 8}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 1, 0.0);
+    auto c = grid.newContainer("touch", [&](set::Loader& l) {
+        auto fp = l.load(f, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { fp(cell) = 1.0; };
+    });
+    Skeleton skl(b);
+    skl.sequence({c}, "demo");
+    auto rep = skl.report();
+    EXPECT_NE(rep.find("demo"), std::string::npos);
+    EXPECT_NE(rep.find("touch"), std::string::npos);
+    EXPECT_NE(rep.find("digraph"), std::string::npos);
+}
+
+}  // namespace neon::skeleton

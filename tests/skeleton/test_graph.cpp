@@ -1,0 +1,178 @@
+// Graph data structure: edges, BFS levels, transitive reduction.
+
+#include "skeleton/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+
+namespace neon::skeleton {
+
+namespace {
+
+set::Container dummy(const char* name)
+{
+    static dgrid::DGrid grid(set::Backend::cpu(1), {2, 2, 2}, Stencil::laplace7());
+    static auto         f = grid.newField<float>("f", 1, 0.0f);
+    return grid.newContainer(name, [](set::Loader& l) {
+        auto fp = l.load(f, Access::READ);
+        return [=](const dgrid::DCell&) {};
+    });
+}
+
+}  // namespace
+
+TEST(Graph, AddNodesAndEdges)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    EXPECT_TRUE(g.hasDataEdge(a, b));
+    EXPECT_FALSE(g.hasDataEdge(b, a));
+    EXPECT_EQ(g.dataEdgeKind(a, b), EdgeKind::RaW);
+    EXPECT_EQ(g.dataParents(b), std::vector<int>{a});
+    EXPECT_EQ(g.dataChildren(a), std::vector<int>{b});
+}
+
+TEST(Graph, DataEdgesDeduplicate)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(a, b, EdgeKind::WaW);  // second data edge collapses
+    EXPECT_EQ(g.edges().size(), 1u);
+    g.addEdge(a, b, EdgeKind::Hint);  // hint atop a data edge is redundant
+    EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(Graph, HintDoesNotAffectDataQueries)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    g.addEdge(a, b, EdgeKind::Hint);
+    EXPECT_FALSE(g.hasDataEdge(a, b));
+    EXPECT_TRUE(g.dataChildren(a).empty());
+    EXPECT_EQ(g.children(a, true), std::vector<int>{b});
+}
+
+TEST(Graph, KillNodeDropsEdges)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    int   c = g.addNode(dummy("c"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(b, c, EdgeKind::RaW);
+    g.killNode(b);
+    EXPECT_EQ(g.aliveCount(), 2);
+    EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(Graph, BfsLevelsRespectDependencies)
+{
+    // Diamond: a -> {b, c} -> d.
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    int   c = g.addNode(dummy("c"));
+    int   d = g.addNode(dummy("d"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(a, c, EdgeKind::RaW);
+    g.addEdge(b, d, EdgeKind::RaW);
+    g.addEdge(c, d, EdgeKind::RaW);
+    auto levels = g.bfsLevels(false);
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_EQ(levels[0], std::vector<int>{a});
+    EXPECT_EQ(levels[1].size(), 2u);
+    EXPECT_EQ(levels[2], std::vector<int>{d});
+}
+
+TEST(Graph, NodeEntersLevelAfterAllParents)
+{
+    // a -> b -> d, a -> d: d must land at level 2, not 1.
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    int   d = g.addNode(dummy("d"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(b, d, EdgeKind::RaW);
+    g.addEdge(a, d, EdgeKind::RaW);
+    auto levels = g.bfsLevels(false);
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_EQ(levels[2], std::vector<int>{d});
+}
+
+TEST(Graph, CycleDetection)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(b, a, EdgeKind::WaR);
+    EXPECT_THROW(g.bfsLevels(false), NeonException);
+}
+
+TEST(Graph, TransitiveReduceRemovesCoveredEdge)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    int   c = g.addNode(dummy("c"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(b, c, EdgeKind::RaW);
+    g.addEdge(a, c, EdgeKind::RaW);  // redundant
+    g.transitiveReduce();
+    EXPECT_TRUE(g.hasDataEdge(a, b));
+    EXPECT_TRUE(g.hasDataEdge(b, c));
+    EXPECT_FALSE(g.hasDataEdge(a, c));
+}
+
+TEST(Graph, TransitiveReduceKeepsHints)
+{
+    Graph g;
+    int   a = g.addNode(dummy("a"));
+    int   b = g.addNode(dummy("b"));
+    int   c = g.addNode(dummy("c"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    g.addEdge(b, c, EdgeKind::RaW);
+    g.addEdge(a, c, EdgeKind::Hint);
+    g.transitiveReduce();
+    EXPECT_TRUE(g.hasEdge(a, c, EdgeKind::Hint));
+}
+
+TEST(Graph, TransitiveReduceLongChain)
+{
+    Graph            g;
+    std::vector<int> ids;
+    for (int i = 0; i < 5; ++i) {
+        ids.push_back(g.addNode(dummy("n")));
+    }
+    for (int i = 0; i + 1 < 5; ++i) {
+        g.addEdge(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(i + 1)], EdgeKind::RaW);
+    }
+    // Add every forward shortcut.
+    for (int i = 0; i < 5; ++i) {
+        for (int j = i + 2; j < 5; ++j) {
+            g.addEdge(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)], EdgeKind::RaW);
+        }
+    }
+    g.transitiveReduce();
+    EXPECT_EQ(g.edges().size(), 4u);  // only the chain survives
+}
+
+TEST(Graph, ToDotContainsNodes)
+{
+    Graph g;
+    int   a = g.addNode(dummy("alpha"));
+    int   b = g.addNode(dummy("beta"));
+    g.addEdge(a, b, EdgeKind::RaW);
+    auto dot = g.toDot();
+    EXPECT_NE(dot.find("alpha"), std::string::npos);
+    EXPECT_NE(dot.find("RaW"), std::string::npos);
+}
+
+}  // namespace neon::skeleton

@@ -1,0 +1,147 @@
+// Scheduler edge cases: stream caps, skeleton redefinition, wide graphs.
+
+#include <gtest/gtest.h>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+#include "patterns/blas.hpp"
+#include "skeleton/skeleton.hpp"
+
+namespace neon::skeleton {
+
+using set::Backend;
+using set::Container;
+
+namespace {
+
+constexpr index_3d kDim{4, 4, 8};
+
+struct WideApp
+{
+    dgrid::DGrid                       grid;
+    std::vector<dgrid::DField<double>> fields;
+
+    WideApp(Backend backend, int width) : grid(std::move(backend), kDim, Stencil::laplace7())
+    {
+        for (int i = 0; i < width; ++i) {
+            fields.push_back(grid.newField<double>("f" + std::to_string(i), 1, 0.0));
+        }
+    }
+
+    /// `width` independent maps (one per field) then one container reading
+    /// them all — a graph level wider than any stream cap we test.
+    [[nodiscard]] std::vector<Container> sequence()
+    {
+        std::vector<Container> seq;
+        for (size_t i = 0; i < fields.size(); ++i) {
+            auto f = fields[i];
+            const double v = static_cast<double>(i + 1);
+            seq.push_back(grid.newContainer("map" + std::to_string(i), [f, v](set::Loader& l) mutable {
+                auto fp = l.load(f, Access::WRITE);
+                return [=](const dgrid::DCell& c) mutable { fp(c) = v; };
+            }));
+        }
+        auto all = fields;
+        auto sum = fields[0];
+        seq.push_back(grid.newContainer("gather", [all, sum](set::Loader& l) mutable {
+            std::vector<dgrid::DPartition<double>> parts;
+            for (auto& f : all) {
+                parts.push_back(l.load(f, Access::READ));
+            }
+            auto out = l.load(sum, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable {
+                double acc = 0;
+                for (const auto& p : parts) {
+                    acc += p(c);
+                }
+                out(c) = acc;
+            };
+        }));
+        return seq;
+    }
+};
+
+}  // namespace
+
+TEST(SchedulerEdge, StreamCapOneSerializesButStaysCorrect)
+{
+    WideApp  app(Backend::cpu(2), 5);
+    Options  options;
+    options.maxStreams = 1;
+    Skeleton skl(app.grid.backend());
+    skl.sequence(app.sequence(), "wide", options);
+    EXPECT_EQ(skl.streamCount(), 1);
+    skl.run();
+    skl.sync();
+    app.fields[0].updateHost();
+    kDim.forEach([&](const index_3d& g) {
+        EXPECT_DOUBLE_EQ(app.fields[0].hVal(g), 1.0 + 2 + 3 + 4 + 5);
+    });
+}
+
+TEST(SchedulerEdge, WideLevelUsesMultipleStreams)
+{
+    WideApp  app(Backend::cpu(1), 6);
+    Skeleton skl(app.grid.backend());
+    skl.sequence(app.sequence(), "wide");
+    EXPECT_GE(skl.streamCount(), 6);
+    skl.run();
+    skl.sync();
+    app.fields[0].updateHost();
+    EXPECT_DOUBLE_EQ(app.fields[0].hVal({0, 0, 0}), 21.0);
+}
+
+TEST(SchedulerEdge, StreamCapBelowWidthWrapsRoundRobin)
+{
+    WideApp  app(Backend::cpu(1), 6);
+    Options  options;
+    options.maxStreams = 3;
+    Skeleton skl(app.grid.backend());
+    skl.sequence(app.sequence(), "wide", options);
+    EXPECT_EQ(skl.streamCount(), 3);
+    for (const auto& t : skl.taskList()) {
+        EXPECT_GE(t.stream, 0);
+        EXPECT_LT(t.stream, 3);
+    }
+    skl.run();
+    skl.sync();
+    app.fields[0].updateHost();
+    EXPECT_DOUBLE_EQ(app.fields[0].hVal({1, 1, 1}), 21.0);
+}
+
+TEST(SchedulerEdge, SequenceCanBeRedefined)
+{
+    WideApp  app(Backend::cpu(2), 2);
+    Skeleton skl(app.grid.backend());
+    skl.sequence(app.sequence(), "first");
+    skl.run();
+    skl.sync();
+
+    // Redefine with a single container; old graph must be replaced.
+    auto f = app.fields[1];
+    auto c = app.grid.newContainer("overwrite", [f](set::Loader& l) mutable {
+        auto fp = l.load(f, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { fp(cell) = -3.0; };
+    });
+    skl.sequence({c}, "second");
+    EXPECT_EQ(skl.graph().aliveCount(), 1);
+    skl.run();
+    skl.sync();
+    app.fields[1].updateHost();
+    EXPECT_DOUBLE_EQ(app.fields[1].hVal({0, 0, 0}), -3.0);
+}
+
+TEST(SchedulerEdge, ThreadedEngineHandlesWideGraphs)
+{
+    WideApp  app(Backend::cpu(2, Backend::EngineKind::Threaded), 4);
+    Skeleton skl(app.grid.backend());
+    skl.sequence(app.sequence(), "wide");
+    for (int i = 0; i < 5; ++i) {
+        skl.run();
+    }
+    skl.sync();
+    app.fields[0].updateHost();
+    EXPECT_DOUBLE_EQ(app.fields[0].hVal({2, 2, 2}), 10.0);
+}
+
+}  // namespace neon::skeleton

@@ -1,0 +1,55 @@
+#include "sys/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace neon::sys {
+
+TEST(CostModel, KernelIsMemoryBoundForGridWork)
+{
+    SimConfig cfg = SimConfig::dgxA100Like();
+    // 1M cells, 152 B/cell (LBM twoPop), 1 flop per 2 bytes.
+    KernelCostHint hint{152.0, 76.0};
+    const double   t = kernelDuration(cfg, 1u << 20, hint);
+    const double   memTime = (1u << 20) * 152.0 / cfg.device.memBandwidth;
+    EXPECT_NEAR(t, cfg.device.kernelLaunchOverhead + memTime, 1e-12);
+}
+
+TEST(CostModel, EmptyKernelCostsLaunchOverhead)
+{
+    SimConfig cfg = SimConfig::dgxA100Like();
+    EXPECT_DOUBLE_EQ(kernelDuration(cfg, 0, {}), cfg.device.kernelLaunchOverhead);
+}
+
+TEST(CostModel, TransferLatencyPlusBandwidth)
+{
+    SimConfig cfg = SimConfig::dgxA100Like();
+    const double t = transferDuration(cfg, 200'000'000);
+    EXPECT_NEAR(t, cfg.link.latency + 200e6 / cfg.link.bandwidth, 1e-12);
+    // Small message is latency-bound.
+    EXPECT_NEAR(transferDuration(cfg, 8), cfg.link.latency, 1e-9);
+}
+
+TEST(CostModel, ZeroCostConfigGivesZeroDurations)
+{
+    SimConfig cfg = SimConfig::zeroCost();
+    EXPECT_EQ(kernelDuration(cfg, 1u << 20, {152.0, 76.0}), 0.0);
+    EXPECT_EQ(transferDuration(cfg, 1u << 30), 0.0);
+}
+
+TEST(CostModel, PcieSlowerThanNvlink)
+{
+    const double tNv = transferDuration(SimConfig::dgxA100Like(), 10'000'000);
+    const double tPci = transferDuration(SimConfig::pcieGen3Like(), 10'000'000);
+    EXPECT_GT(tPci, tNv * 5);
+}
+
+TEST(CostModel, FlopBoundKernelUsesFlopTime)
+{
+    SimConfig cfg = SimConfig::dgxA100Like();
+    // Pathological hint: tiny bytes, huge flops.
+    KernelCostHint hint{1.0, 1e6};
+    const double   t = kernelDuration(cfg, 1000, hint);
+    EXPECT_NEAR(t, cfg.device.kernelLaunchOverhead + 1000 * 1e6 / cfg.device.flopRate, 1e-12);
+}
+
+}  // namespace neon::sys

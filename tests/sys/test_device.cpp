@@ -1,0 +1,75 @@
+#include "sys/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace neon::sys {
+
+TEST(Device, AllocTracksBytes)
+{
+    Device dev(0, DeviceType::SIM_GPU, SimConfig::dgxA100Like());
+    EXPECT_EQ(dev.bytesInUse(), 0u);
+    void* a = dev.alloc(1024);
+    EXPECT_NE(a, nullptr);
+    EXPECT_EQ(dev.bytesInUse(), 1024u);
+    void* b = dev.alloc(4096);
+    EXPECT_EQ(dev.bytesInUse(), 5120u);
+    dev.free(a);
+    EXPECT_EQ(dev.bytesInUse(), 4096u);
+    dev.free(b);
+    EXPECT_EQ(dev.bytesInUse(), 0u);
+}
+
+TEST(Device, ThrowsDeviceMemoryErrorPastCapacity)
+{
+    SimConfig cfg = SimConfig::dgxA100Like();
+    cfg.deviceMemCapacity = 1 << 20;  // 1 MiB
+    Device dev(3, DeviceType::SIM_GPU, cfg);
+    void*  ok = dev.alloc(512 << 10);
+    EXPECT_NE(ok, nullptr);
+    try {
+        dev.alloc(600 << 10);
+        FAIL() << "expected DeviceMemoryError";
+    } catch (const DeviceMemoryError& e) {
+        EXPECT_EQ(e.deviceId, 3);
+        EXPECT_EQ(e.requested, 600u << 10);
+        EXPECT_EQ(e.inUse, 512u << 10);
+        EXPECT_EQ(e.capacity, 1u << 20);
+    }
+    dev.free(ok);
+}
+
+TEST(Device, DryRunAccountsWithoutAllocating)
+{
+    SimConfig cfg = SimConfig::dgxA100Like();
+    cfg.dryRun = true;
+    cfg.deviceMemCapacity = 1 << 20;
+    Device dev(0, DeviceType::SIM_GPU, cfg);
+    void*  p = dev.alloc(900 << 10);
+    EXPECT_EQ(dev.bytesInUse(), 900u << 10);
+    EXPECT_THROW(dev.alloc(200 << 10), DeviceMemoryError);
+    dev.free(p);
+    EXPECT_EQ(dev.bytesInUse(), 0u);
+}
+
+TEST(Device, FreeNullIsNoop)
+{
+    Device dev(0, DeviceType::CPU, SimConfig::zeroCost());
+    dev.free(nullptr);
+    EXPECT_EQ(dev.bytesInUse(), 0u);
+}
+
+TEST(Device, ClockResets)
+{
+    Device dev(0, DeviceType::SIM_GPU, SimConfig::dgxA100Like());
+    dev.computeAvailable = 5.0;
+    dev.copyAvailable[0] = 2.0;
+    dev.copyAvailable[1] = 3.0;
+    dev.resetClocks();
+    EXPECT_EQ(dev.computeAvailable, 0.0);
+    EXPECT_EQ(dev.copyAvailable[0], 0.0);
+    EXPECT_EQ(dev.copyAvailable[1], 0.0);
+}
+
+}  // namespace neon::sys
