@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_layout.dir/bench_ablation_layout.cpp.o"
+  "CMakeFiles/bench_ablation_layout.dir/bench_ablation_layout.cpp.o.d"
+  "bench_ablation_layout"
+  "bench_ablation_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

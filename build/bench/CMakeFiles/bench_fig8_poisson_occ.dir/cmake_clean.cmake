@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_poisson_occ.dir/bench_fig8_poisson_occ.cpp.o"
+  "CMakeFiles/bench_fig8_poisson_occ.dir/bench_fig8_poisson_occ.cpp.o.d"
+  "bench_fig8_poisson_occ"
+  "bench_fig8_poisson_occ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_poisson_occ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

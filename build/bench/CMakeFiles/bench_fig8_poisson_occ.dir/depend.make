@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_poisson_occ.
+# This may be replaced when dependencies are built.

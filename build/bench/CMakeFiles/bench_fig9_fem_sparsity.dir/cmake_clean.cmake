@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fem_sparsity.dir/bench_fig9_fem_sparsity.cpp.o"
+  "CMakeFiles/bench_fig9_fem_sparsity.dir/bench_fig9_fem_sparsity.cpp.o.d"
+  "bench_fig9_fem_sparsity"
+  "bench_fig9_fem_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fem_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_karman.dir/bench_table1_karman.cpp.o"
+  "CMakeFiles/bench_table1_karman.dir/bench_table1_karman.cpp.o.d"
+  "bench_table1_karman"
+  "bench_table1_karman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_karman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lbm_single.dir/bench_table2_lbm_single.cpp.o"
+  "CMakeFiles/bench_table2_lbm_single.dir/bench_table2_lbm_single.cpp.o.d"
+  "bench_table2_lbm_single"
+  "bench_table2_lbm_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lbm_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_benchtool.dir/common/benchtool.cpp.o"
+  "CMakeFiles/neon_benchtool.dir/common/benchtool.cpp.o.d"
+  "libneon_benchtool.a"
+  "libneon_benchtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_benchtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

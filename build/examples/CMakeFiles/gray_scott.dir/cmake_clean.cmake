@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gray_scott.dir/gray_scott.cpp.o"
+  "CMakeFiles/gray_scott.dir/gray_scott.cpp.o.d"
+  "gray_scott"
+  "gray_scott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gray_scott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

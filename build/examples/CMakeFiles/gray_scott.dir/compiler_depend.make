@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gray_scott.
+# This may be replaced when dependencies are built.

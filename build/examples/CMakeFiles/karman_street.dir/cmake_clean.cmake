@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karman_street.dir/karman_street.cpp.o"
+  "CMakeFiles/karman_street.dir/karman_street.cpp.o.d"
+  "karman_street"
+  "karman_street.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karman_street.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

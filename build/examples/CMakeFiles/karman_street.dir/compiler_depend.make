@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for karman_street.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for karman_street.
+# This may be replaced when dependencies are built.

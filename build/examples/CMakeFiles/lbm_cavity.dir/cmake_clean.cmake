@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_cavity.dir/lbm_cavity.cpp.o"
+  "CMakeFiles/lbm_cavity.dir/lbm_cavity.cpp.o.d"
+  "lbm_cavity"
+  "lbm_cavity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_cavity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lbm_cavity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manual_set_level.dir/manual_set_level.cpp.o"
+  "CMakeFiles/manual_set_level.dir/manual_set_level.cpp.o.d"
+  "manual_set_level"
+  "manual_set_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manual_set_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for manual_set_level.
+# This may be replaced when dependencies are built.

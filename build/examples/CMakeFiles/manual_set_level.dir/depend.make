@@ -1,0 +1,2 @@
+# Empty dependencies file for manual_set_level.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_timeline.dir/occ_timeline.cpp.o"
+  "CMakeFiles/occ_timeline.dir/occ_timeline.cpp.o.d"
+  "occ_timeline"
+  "occ_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

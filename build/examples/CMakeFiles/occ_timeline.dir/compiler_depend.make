@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for occ_timeline.
+# This may be replaced when dependencies are built.

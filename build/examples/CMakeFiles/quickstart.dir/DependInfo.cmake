@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fem/CMakeFiles/neon_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dgrid/CMakeFiles/neon_dgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/egrid/CMakeFiles/neon_egrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/neon_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/neon_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/neon_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neon_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

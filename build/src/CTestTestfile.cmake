@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sys")
+subdirs("set")
+subdirs("dgrid")
+subdirs("egrid")
+subdirs("skeleton")
+subdirs("patterns")
+subdirs("solver")
+subdirs("lbm")
+subdirs("poisson")
+subdirs("fem")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_core.dir/log.cpp.o"
+  "CMakeFiles/neon_core.dir/log.cpp.o.d"
+  "CMakeFiles/neon_core.dir/stencil.cpp.o"
+  "CMakeFiles/neon_core.dir/stencil.cpp.o.d"
+  "CMakeFiles/neon_core.dir/types.cpp.o"
+  "CMakeFiles/neon_core.dir/types.cpp.o.d"
+  "libneon_core.a"
+  "libneon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_dgrid.dir/dgrid.cpp.o"
+  "CMakeFiles/neon_dgrid.dir/dgrid.cpp.o.d"
+  "libneon_dgrid.a"
+  "libneon_dgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_dgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for neon_dgrid.
+# This may be replaced when dependencies are built.

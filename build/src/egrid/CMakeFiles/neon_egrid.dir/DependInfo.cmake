@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/egrid/egrid.cpp" "src/egrid/CMakeFiles/neon_egrid.dir/egrid.cpp.o" "gcc" "src/egrid/CMakeFiles/neon_egrid.dir/egrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/set/CMakeFiles/neon_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/neon_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neon_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

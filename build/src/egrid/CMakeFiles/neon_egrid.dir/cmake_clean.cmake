@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_egrid.dir/egrid.cpp.o"
+  "CMakeFiles/neon_egrid.dir/egrid.cpp.o.d"
+  "libneon_egrid.a"
+  "libneon_egrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_egrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

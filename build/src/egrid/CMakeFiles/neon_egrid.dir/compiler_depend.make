@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for neon_egrid.
+# This may be replaced when dependencies are built.

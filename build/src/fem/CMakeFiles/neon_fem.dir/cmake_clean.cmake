@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_fem.dir/hex8.cpp.o"
+  "CMakeFiles/neon_fem.dir/hex8.cpp.o.d"
+  "CMakeFiles/neon_fem.dir/node_stencil.cpp.o"
+  "CMakeFiles/neon_fem.dir/node_stencil.cpp.o.d"
+  "libneon_fem.a"
+  "libneon_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

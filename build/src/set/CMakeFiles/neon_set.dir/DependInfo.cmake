@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/set/backend.cpp" "src/set/CMakeFiles/neon_set.dir/backend.cpp.o" "gcc" "src/set/CMakeFiles/neon_set.dir/backend.cpp.o.d"
+  "/root/repo/src/set/container.cpp" "src/set/CMakeFiles/neon_set.dir/container.cpp.o" "gcc" "src/set/CMakeFiles/neon_set.dir/container.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/neon_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neon_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_set.dir/backend.cpp.o"
+  "CMakeFiles/neon_set.dir/backend.cpp.o.d"
+  "CMakeFiles/neon_set.dir/container.cpp.o"
+  "CMakeFiles/neon_set.dir/container.cpp.o.d"
+  "libneon_set.a"
+  "libneon_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneon_set.a"
+)

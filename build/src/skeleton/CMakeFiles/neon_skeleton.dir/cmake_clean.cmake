@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_skeleton.dir/graph.cpp.o"
+  "CMakeFiles/neon_skeleton.dir/graph.cpp.o.d"
+  "CMakeFiles/neon_skeleton.dir/skeleton.cpp.o"
+  "CMakeFiles/neon_skeleton.dir/skeleton.cpp.o.d"
+  "libneon_skeleton.a"
+  "libneon_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for neon_skeleton.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/cost_model.cpp" "src/sys/CMakeFiles/neon_sys.dir/cost_model.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sys/device.cpp" "src/sys/CMakeFiles/neon_sys.dir/device.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/device.cpp.o.d"
+  "/root/repo/src/sys/event.cpp" "src/sys/CMakeFiles/neon_sys.dir/event.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/event.cpp.o.d"
+  "/root/repo/src/sys/sequential_engine.cpp" "src/sys/CMakeFiles/neon_sys.dir/sequential_engine.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/sequential_engine.cpp.o.d"
+  "/root/repo/src/sys/stream.cpp" "src/sys/CMakeFiles/neon_sys.dir/stream.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/stream.cpp.o.d"
+  "/root/repo/src/sys/threaded_engine.cpp" "src/sys/CMakeFiles/neon_sys.dir/threaded_engine.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/threaded_engine.cpp.o.d"
+  "/root/repo/src/sys/trace.cpp" "src/sys/CMakeFiles/neon_sys.dir/trace.cpp.o" "gcc" "src/sys/CMakeFiles/neon_sys.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/neon_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

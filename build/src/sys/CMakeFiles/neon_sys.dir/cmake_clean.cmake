@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neon_sys.dir/cost_model.cpp.o"
+  "CMakeFiles/neon_sys.dir/cost_model.cpp.o.d"
+  "CMakeFiles/neon_sys.dir/device.cpp.o"
+  "CMakeFiles/neon_sys.dir/device.cpp.o.d"
+  "CMakeFiles/neon_sys.dir/event.cpp.o"
+  "CMakeFiles/neon_sys.dir/event.cpp.o.d"
+  "CMakeFiles/neon_sys.dir/sequential_engine.cpp.o"
+  "CMakeFiles/neon_sys.dir/sequential_engine.cpp.o.d"
+  "CMakeFiles/neon_sys.dir/stream.cpp.o"
+  "CMakeFiles/neon_sys.dir/stream.cpp.o.d"
+  "CMakeFiles/neon_sys.dir/threaded_engine.cpp.o"
+  "CMakeFiles/neon_sys.dir/threaded_engine.cpp.o.d"
+  "CMakeFiles/neon_sys.dir/trace.cpp.o"
+  "CMakeFiles/neon_sys.dir/trace.cpp.o.d"
+  "libneon_sys.a"
+  "libneon_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neon_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

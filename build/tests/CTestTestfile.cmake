@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sys")
+subdirs("set")
+subdirs("dgrid")
+subdirs("egrid")
+subdirs("skeleton")
+subdirs("solver")
+subdirs("lbm")
+subdirs("fem")
+subdirs("patterns")

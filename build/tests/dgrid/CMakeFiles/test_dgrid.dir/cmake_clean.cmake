@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dgrid.dir/test_dfield.cpp.o"
+  "CMakeFiles/test_dgrid.dir/test_dfield.cpp.o.d"
+  "CMakeFiles/test_dgrid.dir/test_dgrid.cpp.o"
+  "CMakeFiles/test_dgrid.dir/test_dgrid.cpp.o.d"
+  "CMakeFiles/test_dgrid.dir/test_dhalo.cpp.o"
+  "CMakeFiles/test_dgrid.dir/test_dhalo.cpp.o.d"
+  "test_dgrid"
+  "test_dgrid.pdb"
+  "test_dgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

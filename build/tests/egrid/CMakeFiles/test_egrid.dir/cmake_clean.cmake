@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_egrid.dir/test_efield.cpp.o"
+  "CMakeFiles/test_egrid.dir/test_efield.cpp.o.d"
+  "CMakeFiles/test_egrid.dir/test_egrid.cpp.o"
+  "CMakeFiles/test_egrid.dir/test_egrid.cpp.o.d"
+  "CMakeFiles/test_egrid.dir/test_espan_slots.cpp.o"
+  "CMakeFiles/test_egrid.dir/test_espan_slots.cpp.o.d"
+  "test_egrid"
+  "test_egrid.pdb"
+  "test_egrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_egrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fem.dir/test_elasticity.cpp.o"
+  "CMakeFiles/test_fem.dir/test_elasticity.cpp.o.d"
+  "CMakeFiles/test_fem.dir/test_hex8.cpp.o"
+  "CMakeFiles/test_fem.dir/test_hex8.cpp.o.d"
+  "test_fem"
+  "test_fem.pdb"
+  "test_fem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbm.dir/test_cavity3d.cpp.o"
+  "CMakeFiles/test_lbm.dir/test_cavity3d.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/test_karman2d.cpp.o"
+  "CMakeFiles/test_lbm.dir/test_karman2d.cpp.o.d"
+  "CMakeFiles/test_lbm.dir/test_native3d.cpp.o"
+  "CMakeFiles/test_lbm.dir/test_native3d.cpp.o.d"
+  "test_lbm"
+  "test_lbm.pdb"
+  "test_lbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

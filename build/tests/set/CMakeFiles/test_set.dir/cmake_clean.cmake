@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set.dir/test_backend.cpp.o"
+  "CMakeFiles/test_set.dir/test_backend.cpp.o.d"
+  "CMakeFiles/test_set.dir/test_container.cpp.o"
+  "CMakeFiles/test_set.dir/test_container.cpp.o.d"
+  "CMakeFiles/test_set.dir/test_fusion.cpp.o"
+  "CMakeFiles/test_set.dir/test_fusion.cpp.o.d"
+  "CMakeFiles/test_set.dir/test_memset.cpp.o"
+  "CMakeFiles/test_set.dir/test_memset.cpp.o.d"
+  "CMakeFiles/test_set.dir/test_scalar.cpp.o"
+  "CMakeFiles/test_set.dir/test_scalar.cpp.o.d"
+  "test_set"
+  "test_set.pdb"
+  "test_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

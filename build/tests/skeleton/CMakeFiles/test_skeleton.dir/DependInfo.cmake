@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/skeleton/test_build.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_build.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_build.cpp.o.d"
+  "/root/repo/tests/skeleton/test_dryrun.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_dryrun.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_dryrun.cpp.o.d"
+  "/root/repo/tests/skeleton/test_exec.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_exec.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/skeleton/test_graph.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_graph.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/skeleton/test_occ.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_occ.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_occ.cpp.o.d"
+  "/root/repo/tests/skeleton/test_random_pipelines.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_random_pipelines.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_random_pipelines.cpp.o.d"
+  "/root/repo/tests/skeleton/test_scheduler_edge.cpp" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_scheduler_edge.cpp.o" "gcc" "tests/skeleton/CMakeFiles/test_skeleton.dir/test_scheduler_edge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fem/CMakeFiles/neon_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dgrid/CMakeFiles/neon_dgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/egrid/CMakeFiles/neon_egrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/neon_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/neon_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/neon_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neon_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

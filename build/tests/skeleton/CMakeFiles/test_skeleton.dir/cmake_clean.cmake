@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeleton.dir/test_build.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_build.cpp.o.d"
+  "CMakeFiles/test_skeleton.dir/test_dryrun.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_dryrun.cpp.o.d"
+  "CMakeFiles/test_skeleton.dir/test_exec.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_exec.cpp.o.d"
+  "CMakeFiles/test_skeleton.dir/test_graph.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_graph.cpp.o.d"
+  "CMakeFiles/test_skeleton.dir/test_occ.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_occ.cpp.o.d"
+  "CMakeFiles/test_skeleton.dir/test_random_pipelines.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_random_pipelines.cpp.o.d"
+  "CMakeFiles/test_skeleton.dir/test_scheduler_edge.cpp.o"
+  "CMakeFiles/test_skeleton.dir/test_scheduler_edge.cpp.o.d"
+  "test_skeleton"
+  "test_skeleton.pdb"
+  "test_skeleton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver.dir/test_cg_poisson.cpp.o"
+  "CMakeFiles/test_solver.dir/test_cg_poisson.cpp.o.d"
+  "CMakeFiles/test_solver.dir/test_jacobi.cpp.o"
+  "CMakeFiles/test_solver.dir/test_jacobi.cpp.o.d"
+  "test_solver"
+  "test_solver.pdb"
+  "test_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys.dir/test_cost_model.cpp.o"
+  "CMakeFiles/test_sys.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_sys.dir/test_device.cpp.o"
+  "CMakeFiles/test_sys.dir/test_device.cpp.o.d"
+  "CMakeFiles/test_sys.dir/test_engines.cpp.o"
+  "CMakeFiles/test_sys.dir/test_engines.cpp.o.d"
+  "CMakeFiles/test_sys.dir/test_trace.cpp.o"
+  "CMakeFiles/test_sys.dir/test_trace.cpp.o.d"
+  "test_sys"
+  "test_sys.pdb"
+  "test_sys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
