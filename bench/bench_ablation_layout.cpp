@@ -23,7 +23,7 @@ double secondsPerIter(index_3d dim, int nDev, Occ occ, MemLayout layout, sys::Si
                       bool dryRun)
 {
     cfg.dryRun = dryRun;
-    set::Backend backend(nDev, sys::DeviceType::SIM_GPU, cfg);
+    auto backend = set::Backend::make(set::BackendSpec::simGpu(nDev, cfg));
     dgrid::DGrid grid(backend, dim, lbm::D3Q19::stencil());
     lbm::CavityD3Q19<dgrid::DGrid> solver(grid, kTau, kLid, occ, layout);
     solver.run(2);
@@ -35,13 +35,13 @@ size_t haloTransferCount(MemLayout layout)
     set::Backend backend = set::Backend::cpu(3);
     dgrid::DGrid grid(backend, {16, 16, 24}, lbm::D3Q19::stencil());
     auto f = grid.newField<float>("f", lbm::D3Q19::Q, 0.0f, layout);
-    backend.trace().clear();
-    backend.trace().enable(true);
+    backend.profiler().trace().clear();
+    backend.profiler().trace().enable(true);
     f.haloOps()->enqueueHaloSend(1, backend.stream(1));
     backend.sync();
-    backend.trace().enable(false);
+    backend.profiler().trace().enable(false);
     size_t n = 0;
-    for (const auto& e : backend.trace().entries()) {
+    for (const auto& e : backend.profiler().trace().entries()) {
         if (e.kind == "transfer") {
             ++n;
         }

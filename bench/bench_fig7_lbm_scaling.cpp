@@ -26,7 +26,7 @@ double secondsPerIter(index_3d dim, int nDev, Occ occ, bool dryRun, int iters = 
 {
     sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
     cfg.dryRun = dryRun;
-    set::Backend backend(nDev, sys::DeviceType::SIM_GPU, cfg);
+    auto backend = set::Backend::make(set::BackendSpec::simGpu(nDev, cfg));
     dgrid::DGrid grid(backend, dim, lbm::D3Q19::stencil());
     lbm::CavityD3Q19<dgrid::DGrid> solver(grid, kTau, kLid, occ);
     solver.run(2);  // warmup (graph build, first halo)
@@ -60,7 +60,7 @@ void gbenchIteration(benchmark::State& state)
 {
     const int nDev = static_cast<int>(state.range(0));
     sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
-    set::Backend   backend(nDev, sys::DeviceType::SIM_GPU, cfg);
+    auto backend = set::Backend::make(set::BackendSpec::simGpu(nDev, cfg));
     dgrid::DGrid   grid(backend, {48, 48, 48}, lbm::D3Q19::stencil());
     lbm::CavityD3Q19<dgrid::DGrid> solver(grid, kTau, kLid, Occ::STANDARD);
     solver.run(2);
@@ -103,6 +103,23 @@ int main(int argc, char** argv)
         paper.push_back({512, 512, 512});
     }
     efficiencyTable(paper, /*dryRun=*/true, "paper sizes, dry-run cost model");
+
+    // Export an ExecutionReport for one representative profiled run (4 GPUs,
+    // 48^3, standard OCC) next to any --benchmark_out JSON.
+    {
+        auto backend =
+            set::Backend::make(set::BackendSpec::simGpu(4, sys::SimConfig::dgxA100Like()));
+        dgrid::DGrid                   grid(backend, {48, 48, 48}, lbm::D3Q19::stencil());
+        lbm::CavityD3Q19<dgrid::DGrid> solver(grid, kTau, kLid, Occ::STANDARD);
+        solver.run(2);
+        solver.sync();
+        auto profiler = backend.profiler();
+        profiler.enable(true);
+        solver.run(4);
+        solver.sync();
+        profiler.enable(false);
+        benchtool::writeReportJson(backend, "fig7_lbm_scaling");
+    }
 
     std::cout
         << "Paper's shape (Fig. 7): Standard OCC beats No-OCC at every size; efficiency\n"

@@ -27,7 +27,7 @@ double cgSecondsPerIter(index_3d dim, int nDev, Occ occ, sys::SimConfig cfg, boo
                         int iters)
 {
     cfg.dryRun = dryRun;
-    set::Backend backend(nDev, sys::DeviceType::SIM_GPU, cfg);
+    auto backend = set::Backend::make(set::BackendSpec::simGpu(nDev, cfg));
     dgrid::DGrid grid(backend, dim, Stencil::laplace7());
     auto         x = grid.newField<double>("x", 1, 0.0);
     auto         b = grid.newField<double>("b", 1, 0.0);
@@ -40,12 +40,12 @@ double cgSecondsPerIter(index_3d dim, int nDev, Occ occ, sys::SimConfig cfg, boo
     backend.sync();
 
     options.maxIterations = iters;
-    const double t0 = backend.maxVtime();
+    const double t0 = backend.profiler().makespan();
     poisson::solveSine(grid, x, b, options);
     backend.sync();
     // The second solve re-runs its own init; subtract an init-free estimate
     // by measuring per-iteration cost over a long fixed run instead.
-    return (backend.maxVtime() - t0) / (iters + 2);  // +2: init ~ two sweeps
+    return (backend.profiler().makespan() - t0) / (iters + 2);  // +2: init ~ two sweeps
 }
 
 void occSweepTable(index_3d dim, sys::SimConfig cfg, bool dryRun, int iters, const char* label)
@@ -173,6 +173,26 @@ int main(int argc, char** argv)
         dims.push_back({448, 448, 448});
     }
     efficiencyBottomTable(dims, /*dryRun=*/true, "paper sizes, dry-run cost model");
+
+    // Export an ExecutionReport for one representative profiled CG run
+    // (4 GPUs, 48^3, standard OCC) next to any --benchmark_out JSON.
+    {
+        auto backend =
+            set::Backend::make(set::BackendSpec::simGpu(4, sys::SimConfig::dgxA100Like()));
+        dgrid::DGrid grid(backend, {48, 48, 48}, Stencil::laplace7());
+        auto         x = grid.newField<double>("x", 1, 0.0);
+        auto         b = grid.newField<double>("b", 1, 0.0);
+        solver::CgOptions options;
+        options.maxIterations = 4;
+        options.fixedIterations = true;
+        options.occ = Occ::STANDARD;
+        auto profiler = backend.profiler();
+        profiler.enable(true);
+        poisson::solveSine(grid, x, b, options);
+        backend.sync();
+        profiler.enable(false);
+        benchtool::writeReportJson(backend, "fig8_poisson_occ");
+    }
 
     std::cout
         << "Paper's shape (Fig. 8): no single OCC variant always wins — standard is best\n"

@@ -71,10 +71,10 @@ Measured measureOn(set::Backend backend, Grid grid, const SolidCube& solid)
         options.occ = Occ::STANDARD;
 
         backend.sync();
-        const double t0 = backend.maxVtime();
+        const double t0 = backend.profiler().makespan();
         fem::solveElastic(grid, problem, act, x, b, options);
         backend.sync();
-        out.seconds = (backend.maxVtime() - t0) / kIters;
+        out.seconds = (backend.profiler().makespan() - t0) / kIters;
         // Peak device memory including the CG work fields.
         out.gibPerDev = static_cast<double>(backend.device(0).peakBytes()) / (1ull << 30);
     } catch (const DeviceMemoryError&) {
@@ -88,7 +88,7 @@ Measured measureDense(index_3d dim, double ratio, int nDev, bool dryRun, size_t 
     sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
     cfg.dryRun = dryRun;
     cfg.deviceMemCapacity = capacity;
-    set::Backend backend(nDev, sys::DeviceType::SIM_GPU, cfg);
+    auto backend = set::Backend::make(set::BackendSpec::simGpu(nDev, cfg));
     try {
         dgrid::DGrid grid(backend, dim, Stencil::box27());
         return measureOn(backend, grid, SolidCube{dim, ratio});
@@ -104,7 +104,7 @@ Measured measureSparse(index_3d dim, double ratio, int nDev, bool dryRun, size_t
     sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
     cfg.dryRun = dryRun;
     cfg.deviceMemCapacity = capacity;
-    set::Backend backend(nDev, sys::DeviceType::SIM_GPU, cfg);
+    auto backend = set::Backend::make(set::BackendSpec::simGpu(nDev, cfg));
     const SolidCube solid{dim, ratio};
     try {
         egrid::EGrid grid(backend, dim,
@@ -196,6 +196,19 @@ int main(int argc, char** argv)
                                   cell(measureSparse({n, n, n}, 1.0, 1, true, 32ull << 30))});
         }
         table.print();
+    }
+
+    // Export an ExecutionReport for one representative profiled FEM run
+    // (4 GPUs, 20^3 dense grid, ratio 0.5) next to any --benchmark_out JSON.
+    {
+        auto backend =
+            set::Backend::make(set::BackendSpec::simGpu(4, sys::SimConfig::dgxA100Like()));
+        dgrid::DGrid grid(backend, {20, 20, 20}, Stencil::box27());
+        auto         profiler = backend.profiler();
+        profiler.enable(true);
+        measureOn(backend, grid, SolidCube{{20, 20, 20}, 0.5});
+        profiler.enable(false);
+        benchtool::writeReportJson(backend, "fig9_fem_sparsity");
     }
 
     std::cout << "Paper's shape (Fig. 9): the sparse structure wins once the sparsity ratio\n"

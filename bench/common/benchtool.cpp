@@ -1,10 +1,13 @@
 #include "common/benchtool.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <sstream>
+
+#include "set/profiler.hpp"
 
 namespace neon::benchtool {
 
@@ -47,6 +50,18 @@ std::string fmt(double v, int precision)
     std::ostringstream os;
     os << std::fixed << std::setprecision(precision) << v;
     return os.str();
+}
+
+void writeReportJson(set::Backend& backend, const std::string& name)
+{
+    const std::string path = "BENCH_" + name + "_report.json";
+    std::ofstream     out(path);
+    if (!out.good()) {
+        std::cerr << "benchtool: cannot write " << path << "\n";
+        return;
+    }
+    out << backend.profiler().report().toJson() << "\n";
+    std::cout << "execution report written to " << path << "\n";
 }
 
 void Table::print() const

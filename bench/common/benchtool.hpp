@@ -28,6 +28,11 @@ bool   has(const std::string& key);
 /// Fixed-point formatting helper.
 std::string fmt(double v, int precision = 2);
 
+/// Write the backend's recorded ExecutionReport as BENCH_<name>_report.json
+/// in the working directory (next to any --benchmark_out JSON). Record the
+/// section of interest with backend.profiler().enable(true) first.
+void writeReportJson(set::Backend& backend, const std::string& name);
+
 /// Markdown-ish table printer.
 struct Table
 {
@@ -45,12 +50,12 @@ template <typename Fn>
 double measureVirtual(set::Backend& backend, int iters, Fn&& iterationBody)
 {
     backend.sync();
-    const double t0 = backend.maxVtime();
+    const double t0 = backend.profiler().makespan();
     for (int i = 0; i < iters; ++i) {
         iterationBody();
     }
     backend.sync();
-    return (backend.maxVtime() - t0) / iters;
+    return (backend.profiler().makespan() - t0) / iters;
 }
 
 }  // namespace neon::benchtool

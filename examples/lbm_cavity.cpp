@@ -22,10 +22,10 @@ int main()
     dgrid::DGrid grid(backend, dim, lbm::D3Q19::stencil());
     lbm::CavityD3Q19<dgrid::DGrid> solver(grid, tau, lidVelocity, Occ::STANDARD);
 
-    const double t0 = backend.maxVtime();
+    const double t0 = backend.profiler().makespan();
     solver.run(iterations);
     solver.sync();
-    const double elapsed = backend.maxVtime() - t0;
+    const double elapsed = backend.profiler().makespan() - t0;
     const double mlups = dim.size() * static_cast<double>(iterations) / elapsed / 1e6;
 
     solver.current().updateHost();

@@ -47,7 +47,7 @@ int main()
     EventSet  mapDone = EventSet::make(nDev);
     EventSet  haloDone = EventSet::make(nDev);
 
-    backend.trace().enable(true);
+    backend.profiler().enable(true);
     for (int d = 0; d < nDev; ++d) {
         map.launch(d, compute[d], DataView::STANDARD);
         compute[d].record(mapDone[d]);
@@ -65,10 +65,10 @@ int main()
         stencil.launch(d, compute[d], DataView::BOUNDARY);
     }
     backend.sync();
-    backend.trace().enable(false);
+    backend.profiler().enable(false);
 
     std::cout << "manual Set-level orchestration (2 devices, standard OCC by hand):\n\n";
-    std::cout << backend.trace().gantt(90) << "\n";
+    std::cout << backend.profiler().gantt(90) << "\n";
 
     A.updateHost();
     std::cout << "spot check A(0,0,40) = " << A.hVal({0, 0, 40}) << " (expect 80)\n";

@@ -2,6 +2,10 @@
 // of a map followed by a stencil on a simulated 2-GPU node, at increasing
 // OCC levels. '=' is compute, '~' is a halo transfer — watch the transfer
 // slide under the computation as the optimization gets more aggressive.
+//
+// Besides the ASCII gantt, each OCC level is exported as a Chrome trace
+// (occ_timeline_<level>.json) — open chrome://tracing or ui.perfetto.dev
+// and drop the file in to inspect the same timeline interactively.
 
 #include <iostream>
 
@@ -40,15 +44,24 @@ int main()
         });
 
         skeleton::Skeleton app(backend);
-        app.sequence({map, stencil}, "fig1", skeleton::Options(occ));
+        app.sequence({map, stencil}, "fig1", skeleton::Options().withOcc(occ));
 
-        backend.trace().enable(true);
+        auto profiler = backend.profiler();
+        profiler.enable(true);
         app.run();
         app.sync();
-        backend.trace().enable(false);
+        profiler.enable(false);
 
         std::cout << "==== OCC: " << to_string(occ) << " ====\n";
-        std::cout << backend.trace().gantt(90) << "\n";
+        std::cout << profiler.gantt(90) << "\n";
+
+        const ExecutionReport report = app.executionReport();
+        std::cout << "overlap: " << report.overlapPercent() << "% of transfer time, halo bytes: "
+                  << report.haloBytes() << "\n";
+
+        const std::string path = "occ_timeline_" + to_string(occ) + ".json";
+        profiler.writeChromeTrace(path);
+        std::cout << "chrome trace written to " << path << "\n\n";
     }
 
     std::cout << "Legend: '=' kernel, '~' halo transfer; rows are (device, stream).\n"

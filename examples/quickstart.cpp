@@ -51,15 +51,15 @@ int main()
     // 4. Hand the sequence to the Skeleton: halo updates, synchronizations
     //    and OCC optimizations are injected automatically.
     skeleton::Skeleton app(backend);
-    app.sequence({axpy, laplace, dot}, "quickstart", skeleton::Options(Occ::STANDARD));
+    app.sequence({axpy, laplace, dot}, "quickstart", skeleton::Options().withOcc(Occ::STANDARD));
 
-    std::cout << app.report() << "\n";
+    std::cout << app.describe() << "\n";
 
     app.run();
     app.sync();
 
     std::cout << "dot(X, Y)        = " << result.hostValue() << "\n";
-    std::cout << "virtual makespan = " << backend.maxVtime() * 1e6 << " us on "
+    std::cout << "virtual makespan = " << backend.profiler().makespan() * 1e6 << " us on "
               << backend.toString() << "\n";
     return 0;
 }

@@ -27,7 +27,11 @@ class Stencil
 
     static Stencil unionOf(const std::vector<Stencil>& stencils);
 
-    [[nodiscard]] const std::vector<index_3d>& points() const { return mPoints; }
+    // Ref-qualified: `for (auto& p : Stencil::laplace7().points())` on the
+    // temporary must copy the vector out — the lvalue overload's reference
+    // would dangle once the temporary dies at the end of the range-for init.
+    [[nodiscard]] const std::vector<index_3d>& points() const& { return mPoints; }
+    [[nodiscard]] std::vector<index_3d>        points() && { return std::move(mPoints); }
     [[nodiscard]] int  pointCount() const { return static_cast<int>(mPoints.size()); }
     /// Max |z| over offsets: the halo radius for 1-D z partitioning.
     [[nodiscard]] int zRadius() const { return mZRadius; }

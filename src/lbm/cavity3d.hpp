@@ -38,7 +38,7 @@ class CavityD3Q19
             mStep[parity].sequence(
                 {collideStream(mF[static_cast<size_t>(parity)],
                                mF[static_cast<size_t>(1 - parity)])},
-                parity == 0 ? "lbm.even" : "lbm.odd", skeleton::Options(occ));
+                parity == 0 ? "lbm.even" : "lbm.odd", skeleton::Options().withOcc(occ));
         }
     }
 

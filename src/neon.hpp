@@ -15,6 +15,7 @@
 #include "sys/cost_model.hpp"
 #include "sys/device.hpp"
 #include "sys/event.hpp"
+#include "sys/execution_report.hpp"
 #include "sys/stream.hpp"
 #include "sys/trace.hpp"
 
@@ -22,6 +23,7 @@
 #include "set/container.hpp"
 #include "set/loader.hpp"
 #include "set/memset.hpp"
+#include "set/profiler.hpp"
 #include "set/scalar.hpp"
 
 #include "dgrid/dfield.hpp"

@@ -2,18 +2,140 @@
 
 #include <atomic>
 #include <mutex>
+#include <sstream>
 
 #include "core/error.hpp"
+#include "set/profiler.hpp"
 #include "sys/device.hpp"
 #include "sys/sequential_engine.hpp"
 #include "sys/threaded_engine.hpp"
 
 namespace neon::set {
 
+namespace {
+
+bool sameCost(const sys::SimConfig& a, const sys::SimConfig& b)
+{
+    return a.device.memBandwidth == b.device.memBandwidth &&
+           a.device.flopRate == b.device.flopRate &&
+           a.device.kernelLaunchOverhead == b.device.kernelLaunchOverhead &&
+           a.link.bandwidth == b.link.bandwidth && a.link.latency == b.link.latency &&
+           a.deviceMemCapacity == b.deviceMemCapacity;
+}
+
+std::string presetNameFor(const sys::SimConfig& cfg)
+{
+    if (sameCost(cfg, sys::SimConfig::zeroCost())) {
+        return "zeroCost";
+    }
+    if (sameCost(cfg, sys::SimConfig::dgxA100Like())) {
+        return "dgxA100";
+    }
+    if (sameCost(cfg, sys::SimConfig::pcieGen3Like())) {
+        return "pcieGen3";
+    }
+    return "custom";
+}
+
+sys::SimConfig presetConfig(const std::string& name)
+{
+    if (name == "zeroCost") {
+        return sys::SimConfig::zeroCost();
+    }
+    if (name == "dgxA100") {
+        return sys::SimConfig::dgxA100Like();
+    }
+    if (name == "pcieGen3") {
+        return sys::SimConfig::pcieGen3Like();
+    }
+    throw NeonException("unknown backend preset '" + name +
+                        "' (expected zeroCost | dgxA100 | pcieGen3)");
+}
+
+std::string deviceTypeName(sys::DeviceType t)
+{
+    return t == sys::DeviceType::CPU ? "CPU" : "SIM_GPU";
+}
+
+}  // namespace
+
+std::string to_string(EngineKind k)
+{
+    return k == EngineKind::Sequential ? "sequential" : "threaded";
+}
+
+std::string BackendSpec::toString() const
+{
+    std::ostringstream os;
+    os << deviceTypeName(deviceType) << " x" << nDevices << " engine=" << set::to_string(engine)
+       << " preset=" << preset;
+    if (config.dryRun) {
+        os << " dryRun";
+    }
+    return os.str();
+}
+
+BackendSpec BackendSpec::fromString(const std::string& text)
+{
+    BackendSpec        spec;
+    std::istringstream is(text);
+    std::string        type;
+    std::string        count;
+    is >> type >> count;
+    NEON_CHECK(type == "CPU" || type == "SIM_GPU",
+               "BackendSpec::fromString: bad device type in '" + text + "'");
+    NEON_CHECK(count.size() > 1 && count[0] == 'x',
+               "BackendSpec::fromString: bad device count in '" + text + "'");
+    spec.deviceType = type == "CPU" ? sys::DeviceType::CPU : sys::DeviceType::SIM_GPU;
+    spec.nDevices = std::stoi(count.substr(1));
+
+    spec.preset = spec.deviceType == sys::DeviceType::CPU ? "zeroCost" : "dgxA100";
+    std::string token;
+    bool        dryRun = false;
+    while (is >> token) {
+        if (token.rfind("engine=", 0) == 0) {
+            const std::string e = token.substr(7);
+            NEON_CHECK(e == "sequential" || e == "threaded",
+                       "BackendSpec::fromString: bad engine in '" + text + "'");
+            spec.engine = e == "sequential" ? EngineKind::Sequential : EngineKind::Threaded;
+        } else if (token.rfind("preset=", 0) == 0) {
+            spec.preset = token.substr(7);
+        } else if (token == "dryRun") {
+            dryRun = true;
+        } else {
+            throw NeonException("BackendSpec::fromString: unexpected token '" + token + "'");
+        }
+    }
+    spec.config = presetConfig(spec.preset);
+    spec.config.dryRun = dryRun;
+    return spec;
+}
+
+BackendSpec BackendSpec::simGpu(int nDevices, sys::SimConfig config, EngineKind engine)
+{
+    BackendSpec spec;
+    spec.nDevices = nDevices;
+    spec.deviceType = sys::DeviceType::SIM_GPU;
+    spec.engine = engine;
+    spec.config = config;
+    spec.preset = presetNameFor(config);
+    return spec;
+}
+
+BackendSpec BackendSpec::cpu(int nDevices, EngineKind engine)
+{
+    BackendSpec spec;
+    spec.nDevices = nDevices;
+    spec.deviceType = sys::DeviceType::CPU;
+    spec.engine = engine;
+    spec.config = sys::SimConfig::zeroCost();
+    spec.preset = "zeroCost";
+    return spec;
+}
+
 struct Backend::Impl
 {
-    EngineKind                                 engineKind = EngineKind::Sequential;
-    sys::SimConfig                             config;
+    BackendSpec                                spec;
     std::unique_ptr<sys::Engine>               engine;
     std::vector<std::unique_ptr<sys::Device>>  devices;
     // streams[dev][idx], lazily grown
@@ -32,30 +154,43 @@ struct Backend::Impl
 Backend::Backend() : Backend(1, sys::DeviceType::CPU, sys::SimConfig::zeroCost()) {}
 
 Backend::Backend(int nDevices, sys::DeviceType type, sys::SimConfig config, EngineKind engineKind)
-    : mImpl(std::make_shared<Impl>())
 {
-    NEON_CHECK(nDevices >= 1, "backend needs at least one device");
-    mImpl->engineKind = engineKind;
-    mImpl->config = config;
-    if (engineKind == EngineKind::Sequential) {
-        mImpl->engine = std::make_unique<sys::SequentialEngine>();
+    BackendSpec spec;
+    spec.nDevices = nDevices;
+    spec.deviceType = type;
+    spec.engine = engineKind;
+    spec.config = config;
+    spec.preset = presetNameFor(config);
+    *this = make(std::move(spec));
+}
+
+Backend Backend::make(BackendSpec spec)
+{
+    NEON_CHECK(spec.nDevices >= 1, "backend needs at least one device");
+    auto  implPtr = std::make_shared<Impl>();
+    Impl& impl = *implPtr;
+    impl.spec = std::move(spec);
+    if (impl.spec.engine == EngineKind::Sequential) {
+        impl.engine = std::make_unique<sys::SequentialEngine>();
     } else {
-        mImpl->engine = std::make_unique<sys::ThreadedEngine>();
+        impl.engine = std::make_unique<sys::ThreadedEngine>();
     }
-    for (int i = 0; i < nDevices; ++i) {
-        mImpl->devices.push_back(std::make_unique<sys::Device>(i, type, config));
+    for (int i = 0; i < impl.spec.nDevices; ++i) {
+        impl.devices.push_back(
+            std::make_unique<sys::Device>(i, impl.spec.deviceType, impl.spec.config));
     }
-    mImpl->streams.resize(static_cast<size_t>(nDevices));
+    impl.streams.resize(static_cast<size_t>(impl.spec.nDevices));
+    return Backend(std::move(implPtr));
 }
 
 Backend Backend::simGpu(int nDevices, sys::SimConfig config, EngineKind engine)
 {
-    return Backend(nDevices, sys::DeviceType::SIM_GPU, config, engine);
+    return make(BackendSpec::simGpu(nDevices, config, engine));
 }
 
 Backend Backend::cpu(int nDevices, EngineKind engine)
 {
-    return Backend(nDevices, sys::DeviceType::CPU, sys::SimConfig::zeroCost(), engine);
+    return make(BackendSpec::cpu(nDevices, engine));
 }
 
 int Backend::devCount() const
@@ -76,17 +211,22 @@ sys::Engine& Backend::engine() const
 
 const sys::SimConfig& Backend::config() const
 {
-    return mImpl->config;
+    return mImpl->spec.config;
+}
+
+const BackendSpec& Backend::spec() const
+{
+    return mImpl->spec;
 }
 
 bool Backend::isDryRun() const
 {
-    return mImpl->config.dryRun;
+    return mImpl->spec.config.dryRun;
 }
 
 Backend::EngineKind Backend::engineKind() const
 {
-    return mImpl->engineKind;
+    return mImpl->spec.engine;
 }
 
 sys::Stream& Backend::stream(int dev, int streamIdx) const
@@ -107,9 +247,14 @@ void Backend::sync() const
     mImpl->engine->syncAll();
 }
 
-double Backend::maxVtime() const
+double Backend::makespanNow() const
 {
     return mImpl->engine->maxVtime();
+}
+
+double Backend::maxVtime() const
+{
+    return makespanNow();
 }
 
 void Backend::resetClocks() const
@@ -117,9 +262,19 @@ void Backend::resetClocks() const
     mImpl->engine->resetClocks();
 }
 
-sys::Trace& Backend::trace() const
+sys::Trace& Backend::traceRef() const
 {
     return mImpl->engine->trace();
+}
+
+sys::Trace& Backend::trace() const
+{
+    return traceRef();
+}
+
+Profiler Backend::profiler() const
+{
+    return Profiler(*this);
 }
 
 uint64_t Backend::newDataUid()
@@ -130,9 +285,7 @@ uint64_t Backend::newDataUid()
 
 std::string Backend::toString() const
 {
-    std::string kind = device(0).type() == sys::DeviceType::CPU ? "CPU" : "SIM_GPU";
-    return kind + " x" + std::to_string(devCount()) +
-           (engineKind() == EngineKind::Sequential ? " (sequential engine)" : " (threaded engine)");
+    return mImpl->spec.toString();
 }
 
 }  // namespace neon::set

@@ -3,6 +3,13 @@
 // A Backend owns N devices, the execution engine and a pool of streams
 // indexed (device, streamIdx). It is a cheap copyable handle; grids, fields
 // and skeletons keep a copy.
+//
+// Construction goes through Backend::make(BackendSpec) — a named-field
+// description that toString()/fromString() round-trip for bench logs — with
+// simGpu()/cpu() as one-line preset wrappers. Observability (trace, Gantt,
+// chrome-trace export, ExecutionReport aggregation) hangs off
+// backend.profiler(); the historical trace()/maxVtime() accessors remain as
+// deprecated shims.
 
 #include <cstdint>
 #include <memory>
@@ -14,19 +21,56 @@
 
 namespace neon::set {
 
+class Profiler;
+
+enum class EngineKind : uint8_t
+{
+    Sequential,  ///< deterministic discrete-event engine (default)
+    Threaded,    ///< real worker threads, used to validate synchronization
+};
+
+std::string to_string(EngineKind k);
+
+/// Everything needed to build a Backend, in one named-field struct.
+/// `preset` names the SimConfig ("zeroCost" | "dgxA100" | "pcieGen3" |
+/// "custom"); for the named presets the spec round-trips through
+/// toString()/fromString(), so bench logs can record the exact machine.
+struct BackendSpec
+{
+    int             nDevices = 1;
+    sys::DeviceType deviceType = sys::DeviceType::CPU;
+    EngineKind      engine = EngineKind::Sequential;
+    sys::SimConfig  config = sys::SimConfig::zeroCost();
+    std::string     preset = "zeroCost";
+
+    /// e.g. "SIM_GPU x4 engine=sequential preset=dgxA100". Appends
+    /// " dryRun" when config.dryRun is set.
+    [[nodiscard]] std::string toString() const;
+    /// Parse a toString() result back into a spec (named presets only;
+    /// throws NeonException on malformed input or preset "custom").
+    static BackendSpec fromString(const std::string& text);
+
+    // Named-preset builders.
+    static BackendSpec simGpu(int nDevices, sys::SimConfig config = sys::SimConfig::dgxA100Like(),
+                              EngineKind engine = EngineKind::Sequential);
+    static BackendSpec cpu(int nDevices = 1, EngineKind engine = EngineKind::Sequential);
+};
+
 class Backend
 {
    public:
-    enum class EngineKind : uint8_t
-    {
-        Sequential,  ///< deterministic discrete-event engine (default)
-        Threaded,    ///< real worker threads, used to validate synchronization
-    };
+    /// Compatibility alias: historical code names the enum through the
+    /// class (Backend::EngineKind::Threaded).
+    using EngineKind = set::EngineKind;
 
     /// Default: one zero-cost CPU device, sequential engine.
     Backend();
+    /// Positional form retained for compatibility; prefer make(BackendSpec).
     Backend(int nDevices, sys::DeviceType type, sys::SimConfig config,
             EngineKind engine = EngineKind::Sequential);
+
+    /// The one construction entry point: build from a named-field spec.
+    static Backend make(BackendSpec spec);
 
     /// n simulated GPUs with a DGX-A100-like cost model.
     static Backend simGpu(int nDevices,
@@ -39,6 +83,7 @@ class Backend
     [[nodiscard]] sys::Device& device(int idx) const;
     [[nodiscard]] sys::Engine& engine() const;
     [[nodiscard]] const sys::SimConfig& config() const;
+    [[nodiscard]] const BackendSpec&    spec() const;
     [[nodiscard]] bool         isDryRun() const;
     [[nodiscard]] EngineKind   engineKind() const;
 
@@ -48,20 +93,30 @@ class Backend
     /// Block the host until every stream on every device drained.
     void sync() const;
 
-    /// Virtual makespan so far (max stream vtime).
-    [[nodiscard]] double maxVtime() const;
     /// Zero all virtual clocks (between measured benchmark runs).
     void resetClocks() const;
 
-    [[nodiscard]] sys::Trace& trace() const;
+    /// Observability facade: trace recording, Gantt/chrome-trace export,
+    /// makespan, ExecutionReport aggregation (set/profiler.hpp).
+    [[nodiscard]] Profiler profiler() const;
+
+    /// Virtual makespan so far (max stream vtime).
+    [[deprecated("use profiler().makespan()")]] [[nodiscard]] double maxVtime() const;
+    [[deprecated("use profiler().trace()")]] [[nodiscard]] sys::Trace& trace() const;
 
     /// Fresh unique id for a Multi-GPU data object (dependency tracking).
     static uint64_t newDataUid();
 
+    /// spec().toString(): round-trips through BackendSpec::fromString.
     [[nodiscard]] std::string toString() const;
 
    private:
+    friend class Profiler;
+    [[nodiscard]] sys::Trace& traceRef() const;
+    [[nodiscard]] double      makespanNow() const;
+
     struct Impl;
+    explicit Backend(std::shared_ptr<Impl> impl) : mImpl(std::move(impl)) {}
     std::shared_ptr<Impl> mImpl;
 };
 
@@ -116,3 +171,8 @@ class EventSet
 };
 
 }  // namespace neon::set
+
+// Complete the forward-declared Profiler for users of backend.profiler():
+// profiler.hpp's own include of this header is guard-skipped, so the cycle
+// resolves with both classes defined in either include order.
+#include "set/profiler.hpp"  // NOLINT

@@ -1,0 +1,28 @@
+#include "set/profiler.hpp"
+
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace neon::set {
+
+void Profiler::writeChromeTrace(const std::string& path) const
+{
+    std::ofstream out(path);
+    NEON_CHECK(out.good(), "cannot open '" + path + "' for writing");
+    out << chromeTrace();
+    NEON_CHECK(out.good(), "writing chrome trace to '" + path + "' failed");
+}
+
+ExecutionReport Profiler::report() const
+{
+    return ExecutionReport::fromEntries(trace().entries(), mBackend.devCount());
+}
+
+ExecutionReport Profiler::report(int firstRunId, int lastRunId) const
+{
+    return ExecutionReport::fromEntries(trace().entriesForRuns(firstRunId, lastRunId),
+                                        mBackend.devCount());
+}
+
+}  // namespace neon::set

@@ -361,6 +361,11 @@ struct Skeleton::Impl
     /// Barrier event recorded at the end of the previous run(): iteration
     /// N+1 must not overtake iteration N on a different stream.
     sys::EventPtr runBarrier;
+    /// Run-id window [windowFirst, windowLast]: opened by the first run()
+    /// after a sync(), extended by subsequent run()s, closed by sync().
+    int  windowFirst = -1;
+    int  windowLast = -1;
+    bool windowClosed = true;
 };
 
 Skeleton::Skeleton(set::Backend backend) : mImpl(std::make_shared<Impl>())
@@ -396,6 +401,18 @@ void Skeleton::run()
     NEON_CHECK(s.defined, "Skeleton::sequence must be called before run()");
     const int nDev = s.backend.devCount();
 
+    // Open/extend the observability run window and stamp every op this run
+    // enqueues with its run id (and, per task, its graph-node id) so the
+    // trace can be sliced per window and attributed per container.
+    sys::Trace& trace = s.backend.engine().trace();
+    const int   runId = trace.nextRunId();
+    if (s.windowClosed) {
+        s.windowFirst = runId;
+        s.windowClosed = false;
+    }
+    s.windowLast = runId;
+    trace.setContext({-1, runId});
+
     // Inter-run barrier: every stream waits for the previous run's tail
     // before dispatching new work (successive skeleton runs are dependent
     // by construction — they reuse the same fields).
@@ -420,6 +437,7 @@ void Skeleton::run()
 
     for (const Task& t : s.tasks) {
         const GraphNode& n = s.graph.node(t.nodeId);
+        trace.setContext({t.nodeId, runId});
         for (int d = 0; d < nDev; ++d) {
             sys::Stream& stream = s.backend.stream(d, t.stream);
             for (const auto& w : t.waits) {
@@ -454,6 +472,7 @@ void Skeleton::run()
 
     // Record the tail barrier: stream (0,0) gathers every stream's tail
     // event and publishes a single barrier the next run waits on.
+    trace.setContext({-1, runId});
     set::EventSet tails = set::EventSet::make(nDev * s.nStreams);
     for (int d = 0; d < nDev; ++d) {
         for (int st = 0; st < s.nStreams; ++st) {
@@ -468,11 +487,13 @@ void Skeleton::run()
     auto barrier = std::make_shared<sys::Event>();
     s.backend.stream(0, 0).record(barrier);
     s.runBarrier = std::move(barrier);
+    trace.clearContext();
 }
 
 void Skeleton::sync()
 {
     mImpl->backend.sync();
+    mImpl->windowClosed = true;
 }
 
 const Graph& Skeleton::graph() const
@@ -500,7 +521,28 @@ set::Backend& Skeleton::backend()
     return mImpl->backend;
 }
 
+std::pair<int, int> Skeleton::runWindow() const
+{
+    return {mImpl->windowFirst, mImpl->windowLast};
+}
+
+ExecutionReport Skeleton::executionReport() const
+{
+    const Impl& s = *mImpl;
+    if (s.windowFirst < 0) {
+        return ExecutionReport::fromEntries({}, s.backend.devCount());
+    }
+    const auto entries =
+        s.backend.engine().trace().entriesForRuns(s.windowFirst, s.windowLast);
+    return ExecutionReport::fromEntries(entries, s.backend.devCount());
+}
+
 std::string Skeleton::report() const
+{
+    return describe();
+}
+
+std::string Skeleton::describe() const
 {
     const Impl&        s = *mImpl;
     std::ostringstream os;

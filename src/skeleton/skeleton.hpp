@@ -11,15 +11,21 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/types.hpp"
 #include "set/backend.hpp"
 #include "set/container.hpp"
 #include "skeleton/graph.hpp"
+#include "sys/execution_report.hpp"
 
 namespace neon::skeleton {
 
+/// Skeleton scheduling options, configured fluently:
+///
+///   Options().withOcc(Occ::STANDARD).withMaxStreams(4)
 struct Options
 {
     Occ occ = Occ::NONE;
@@ -27,7 +33,19 @@ struct Options
     int maxStreams = 8;
 
     Options() = default;
-    explicit Options(Occ o) : occ(o) {}
+    [[deprecated("use Options().withOcc(occ)")]] explicit Options(Occ o) : occ(o) {}
+
+    Options& withOcc(Occ o)
+    {
+        occ = o;
+        return *this;
+    }
+    Options& withMaxStreams(int n)
+    {
+        NEON_CHECK(n >= 1, "Options: maxStreams must be >= 1");
+        maxStreams = n;
+        return *this;
+    }
 };
 
 /// One entry of the scheduler's ordered task list (paper §V-C).
@@ -67,7 +85,20 @@ class Skeleton
     [[nodiscard]] const std::string&       name() const;
     [[nodiscard]] set::Backend&            backend();
     /// Human-readable summary of graph, schedule and task order.
-    [[nodiscard]] std::string report() const;
+    [[nodiscard]] std::string describe() const;
+    [[deprecated("use describe() (summary) or executionReport() (metrics)")]] [[nodiscard]]
+    std::string report() const;
+
+    // --- execution window observability -----------------------------------
+    // Every run() opens (or extends) a run window that sync() closes; trace
+    // entries are stamped with the window's run ids and the launching graph
+    // node, so the report can attribute time per container.
+    /// Run-id range [first, last] of the current/most recent window; {-1,-1}
+    /// before the first run().
+    [[nodiscard]] std::pair<int, int> runWindow() const;
+    /// ExecutionReport over the most recent run()/sync() window. Requires
+    /// trace recording (backend().profiler().enable()) around the runs.
+    [[nodiscard]] ExecutionReport executionReport() const;
 
    private:
     struct Impl;

@@ -81,7 +81,7 @@ CgResult cgSolve(const Grid&                                          grid,
     auto bbInit = patterns::norm2Sq(grid, b, bNorm, "cg.bb");
 
     skeleton::Skeleton init(backend);
-    init.sequence({applyX, initR, rsInit, bbInit}, "cg.init", skeleton::Options(options.occ));
+    init.sequence({applyX, initR, rsInit, bbInit}, "cg.init", skeleton::Options().withOcc(options.occ));
     init.run();
     init.sync();
     beta.set(T{});
@@ -117,7 +117,7 @@ CgResult cgSolve(const Grid&                                          grid,
 
     skeleton::Skeleton iter(backend);
     iter.sequence({updateP, applyP, dotPAp, alphaOp, xUpdate, rUpdate, dotRR, betaOp}, "cg.iter",
-                  skeleton::Options(options.occ));
+                  skeleton::Options().withOcc(options.occ));
 
     for (int it = 1; it <= options.maxIterations; ++it) {
         iter.run();

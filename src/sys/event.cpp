@@ -1,13 +1,23 @@
 #include "sys/event.hpp"
 
+#include <atomic>
+
 namespace neon::sys {
 
-void Event::record(double vtime)
+namespace {
+std::atomic<uint64_t> gNextEventId{1};
+}
+
+Event::Event() : mId(gNextEventId.fetch_add(1, std::memory_order_relaxed)) {}
+
+void Event::record(double vtime, int device, int stream)
 {
     {
         std::lock_guard<std::mutex> lock(mMutex);
         mRecorded = true;
         mVtime = vtime;
+        mDevice = device;
+        mStream = stream;
     }
     mCv.notify_all();
 }
@@ -24,6 +34,18 @@ double Event::vtime() const
     return mVtime;
 }
 
+int Event::recordedDevice() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mDevice;
+}
+
+int Event::recordedStream() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mStream;
+}
+
 double Event::blockUntilRecorded() const
 {
     std::unique_lock<std::mutex> lock(mMutex);
@@ -36,6 +58,8 @@ void Event::reset()
     std::lock_guard<std::mutex> lock(mMutex);
     mRecorded = false;
     mVtime = 0.0;
+    mDevice = -1;
+    mStream = -1;
 }
 
 }  // namespace neon::sys

@@ -4,9 +4,12 @@
 //
 // An event carries both the real completion state (used by the threaded
 // engine's condition-variable waits) and the virtual timestamp at which it
-// was recorded (used by the discrete-event clock).
+// was recorded (used by the discrete-event clock). For trace export every
+// event also has a process-unique id and remembers which (device, stream)
+// recorded it, so wait edges can be drawn in chrome://tracing.
 
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 
@@ -15,14 +18,21 @@ namespace neon::sys {
 class Event
 {
    public:
-    Event() = default;
+    Event();
 
     /// Mark the event complete at virtual time `vtime` and wake waiters.
-    void record(double vtime);
+    /// `device`/`stream` identify the recording stream (trace attribution).
+    void record(double vtime, int device = -1, int stream = -1);
 
     [[nodiscard]] bool   recorded() const;
     /// Virtual timestamp of the record; only meaningful once recorded().
     [[nodiscard]] double vtime() const;
+
+    /// Process-unique id (stable across reset()).
+    [[nodiscard]] uint64_t id() const { return mId; }
+    /// (device, stream) that recorded the event; -1 until recorded.
+    [[nodiscard]] int recordedDevice() const;
+    [[nodiscard]] int recordedStream() const;
 
     /// Block the calling thread until the event is recorded (threaded
     /// engine). Returns the recorded virtual time.
@@ -33,10 +43,13 @@ class Event
     void reset();
 
    private:
+    const uint64_t                  mId;
     mutable std::mutex              mMutex;
     mutable std::condition_variable mCv;
     bool                            mRecorded = false;
     double                          mVtime = 0.0;
+    int                             mDevice = -1;
+    int                             mStream = -1;
 };
 
 using EventPtr = std::shared_ptr<Event>;

@@ -1,0 +1,92 @@
+#pragma once
+// ExecutionReport: machine-readable aggregation of one execution window of
+// the virtual timeline (docs/observability.md). Computed from structured
+// sys::Trace entries, it quantifies exactly the properties the paper's
+// Figs. 7-9 argue about — how much communication hid under computation,
+// how busy every device was, and where the time went per container —
+// instead of leaving them to visual inspection of a Gantt chart.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sys/trace.hpp"
+
+namespace neon {
+
+class ExecutionReport
+{
+   public:
+    struct DeviceStats
+    {
+        int      device = -1;
+        double   computeBusy = 0.0;   ///< union of kernel intervals [s]
+        double   transferBusy = 0.0;  ///< union of transfer intervals [s]
+        double   overlap = 0.0;       ///< time both a kernel and a transfer ran [s]
+        double   waitTime = 0.0;      ///< stream stall time on wait edges [s]
+        uint64_t haloBytes = 0;       ///< transfer payload in/out of this device
+        int      kernels = 0;
+        int      transfers = 0;
+    };
+
+    struct StreamStats
+    {
+        int    device = -1;
+        int    stream = -1;
+        double busy = 0.0;         ///< union of op intervals (waits excluded) [s]
+        double utilization = 0.0;  ///< busy / makespan
+    };
+
+    struct ContainerStats
+    {
+        std::string name;
+        int         launches = 0;
+        double      kernelTime = 0.0;    ///< summed kernel durations [s]
+        double      transferTime = 0.0;  ///< summed transfer durations [s]
+        uint64_t    bytes = 0;
+    };
+
+    /// Aggregate `entries` (one run window of a trace). `devCount` sizes the
+    /// per-device table even for devices that recorded nothing.
+    static ExecutionReport fromEntries(const std::vector<sys::TraceEntry>& entries, int devCount);
+
+    // --- window ----------------------------------------------------------
+    [[nodiscard]] double windowStart() const { return mWindowStart; }
+    [[nodiscard]] double windowEnd() const { return mWindowEnd; }
+    [[nodiscard]] double makespan() const { return mWindowEnd - mWindowStart; }
+    [[nodiscard]] int    eventCount() const { return mEvents; }
+    [[nodiscard]] bool   empty() const { return mEvents == 0; }
+
+    // --- headline metrics -------------------------------------------------
+    /// Percentage of total transfer time that ran concurrently with a
+    /// kernel on the same device — the paper's OCC effectiveness measure.
+    /// 0 when the window moved no bytes.
+    [[nodiscard]] double overlapPercent() const;
+    /// Total bytes moved between devices in the window.
+    [[nodiscard]] uint64_t haloBytes() const;
+    /// Mean of computeBusy / makespan across devices.
+    [[nodiscard]] double deviceUtilization() const;
+    /// Duration-weighted longest chain of back-to-back ops (virtual time):
+    /// a lower bound on the makespan any schedule could reach.
+    [[nodiscard]] double criticalPath() const { return mCriticalPath; }
+    [[nodiscard]] double totalWaitTime() const;
+
+    [[nodiscard]] const std::vector<DeviceStats>&    devices() const { return mDevices; }
+    [[nodiscard]] const std::vector<StreamStats>&    streams() const { return mStreams; }
+    /// Sorted by kernelTime + transferTime, descending.
+    [[nodiscard]] const std::vector<ContainerStats>& containers() const { return mContainers; }
+
+    [[nodiscard]] std::string toString() const;
+    [[nodiscard]] std::string toJson() const;
+
+   private:
+    double                      mWindowStart = 0.0;
+    double                      mWindowEnd = 0.0;
+    double                      mCriticalPath = 0.0;
+    int                         mEvents = 0;
+    std::vector<DeviceStats>    mDevices;
+    std::vector<StreamStats>    mStreams;
+    std::vector<ContainerStats> mContainers;
+};
+
+}  // namespace neon

@@ -13,6 +13,15 @@
 
 namespace neon::sys {
 
+/// Trace attribution carried by work ops: which skeleton graph node and
+/// which run() window enqueued the op. Stamped by Stream::enqueue from the
+/// engine trace's current context (sys/trace.hpp); -1 outside a skeleton.
+struct OpAttribution
+{
+    int containerId = -1;
+    int runId = -1;
+};
+
 /// A device kernel: `body` performs the real computation (host execution);
 /// the simulated duration comes from `items` and `hint`.
 struct KernelOp
@@ -21,6 +30,7 @@ struct KernelOp
     size_t                items = 0;
     KernelCostHint        hint;
     std::function<void()> body;
+    OpAttribution         attr;
 };
 
 /// One contiguous device-to-device copy; `direction` selects the DMA engine
@@ -40,6 +50,7 @@ struct TransferOp
 {
     std::string                name;
     std::vector<TransferChunk> chunks;
+    OpAttribution              attr;
 };
 
 /// Host-side work executed in stream order (e.g. the reduce combine step).
@@ -48,6 +59,7 @@ struct HostFnOp
     std::string           name;
     double                simDuration = 0.0;
     std::function<void()> fn;
+    OpAttribution         attr;
 };
 
 /// Record `event` when the stream reaches this op.
@@ -59,7 +71,8 @@ struct RecordOp
 /// Hold the stream until `event` is recorded.
 struct WaitOp
 {
-    EventPtr event;
+    EventPtr      event;
+    OpAttribution attr;
 };
 
 using Op = std::variant<KernelOp, TransferOp, HostFnOp, RecordOp, WaitOp>;

@@ -40,7 +40,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         if (!cfg.dryRun && k->body) {
             k->body();
         }
-        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end});
+        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end, 0,
+                    k->attr.containerId, k->attr.runId});
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
@@ -60,7 +61,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
             if (!cfg.dryRun && chunk.copy) {
                 chunk.copy();
             }
-            mTrace.add({dev.id(), stream.id(), "transfer", t->name, start, dirEnd[dir]});
+            mTrace.add({dev.id(), stream.id(), "transfer", t->name, start, dirEnd[dir],
+                        chunk.bytes, t->attr.containerId, t->attr.runId});
         }
         for (int dir = 0; dir < 2; ++dir) {
             if (dirUsed[dir]) {
@@ -77,11 +79,12 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         if (!cfg.dryRun && h->fn) {
             h->fn();
         }
-        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, st.vtime});
+        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, st.vtime, 0,
+                    h->attr.containerId, h->attr.runId});
         return;
     }
     if (auto* r = std::get_if<RecordOp>(&op)) {
-        r->event->record(st.vtime);
+        r->event->record(st.vtime, dev.id(), stream.id());
         return;
     }
     if (auto* w = std::get_if<WaitOp>(&op)) {
@@ -90,7 +93,13 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
                 "sequential engine: wait on an unrecorded event — the task "
                 "list is not a topological order of the dependency graph");
         }
-        st.vtime = std::max(st.vtime, w->event->vtime());
+        const double evTime = w->event->vtime();
+        if (evTime > st.vtime && mTrace.enabled()) {
+            mTrace.add({dev.id(), stream.id(), "wait", "wait", st.vtime, evTime, 0,
+                        w->attr.containerId, w->attr.runId, w->event->id(),
+                        w->event->recordedDevice(), w->event->recordedStream()});
+        }
+        st.vtime = std::max(st.vtime, evTime);
         return;
     }
 }

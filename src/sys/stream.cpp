@@ -15,12 +15,29 @@ Stream::~Stream()
 
 void Stream::enqueue(Op op)
 {
+    // Stamp skeleton attribution at enqueue time: the host thread that
+    // enqueues is the one that set the trace context, while the threaded
+    // engine may process the op on a worker thread much later.
+    if (mEngine->trace().enabled()) {
+        const TraceContext ctx = mEngine->trace().context();
+        if (ctx.containerId >= 0 || ctx.runId >= 0) {
+            std::visit(
+                [&](auto& o) {
+                    if constexpr (requires { o.attr; }) {
+                        if (o.attr.containerId < 0) {
+                            o.attr = {ctx.containerId, ctx.runId};
+                        }
+                    }
+                },
+                op);
+        }
+    }
     mEngine->enqueue(*this, std::move(op));
 }
 
 void Stream::kernel(std::string name, size_t items, KernelCostHint hint, std::function<void()> body)
 {
-    enqueue(KernelOp{std::move(name), items, hint, std::move(body)});
+    enqueue(KernelOp{std::move(name), items, hint, std::move(body), {}});
 }
 
 void Stream::transfer(TransferOp op)
@@ -30,7 +47,7 @@ void Stream::transfer(TransferOp op)
 
 void Stream::hostFn(std::string name, double simDuration, std::function<void()> fn)
 {
-    enqueue(HostFnOp{std::move(name), simDuration, std::move(fn)});
+    enqueue(HostFnOp{std::move(name), simDuration, std::move(fn), {}});
 }
 
 void Stream::record(EventPtr event)
@@ -40,7 +57,7 @@ void Stream::record(EventPtr event)
 
 void Stream::wait(EventPtr event)
 {
-    enqueue(WaitOp{std::move(event)});
+    enqueue(WaitOp{std::move(event), {}});
 }
 
 void Stream::sync()

@@ -1,6 +1,7 @@
 #include "sys/threaded_engine.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "sys/device.hpp"
 
@@ -92,22 +93,33 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         if (!cfg.dryRun && k->body) {
             k->body();
         }
-        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end});
+        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end, 0,
+                    k->attr.containerId, k->attr.runId});
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
-        double dirEnd[2] = {0.0, 0.0};
-        bool   dirUsed[2] = {false, false};
+        struct ChunkWindow
+        {
+            double   start;
+            double   end;
+            uint64_t bytes;
+        };
+        std::vector<ChunkWindow> windows;
+        windows.reserve(t->chunks.size());
         {
             std::lock_guard<std::mutex> lock(mClockMutex);
             double end = state.vtime;
+            double dirEnd[2] = {0.0, 0.0};
+            bool   dirUsed[2] = {false, false};
             for (const auto& chunk : t->chunks) {
                 const int dir = chunk.direction != 0 ? 1 : 0;
                 if (!dirUsed[dir]) {
                     dirEnd[dir] = std::max(state.vtime, dev.copyAvailable[dir]);
                     dirUsed[dir] = true;
                 }
-                dirEnd[dir] += transferDuration(cfg, chunk.bytes);
+                const double start = dirEnd[dir];
+                dirEnd[dir] = start + transferDuration(cfg, chunk.bytes);
+                windows.push_back({start, dirEnd[dir], chunk.bytes});
             }
             for (int dir = 0; dir < 2; ++dir) {
                 if (dirUsed[dir]) {
@@ -124,7 +136,10 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                 }
             }
         }
-        mTrace.add({dev.id(), stream.id(), "transfer", t->name, dirEnd[0], dirEnd[1]});
+        for (const auto& w : windows) {
+            mTrace.add({dev.id(), stream.id(), "transfer", t->name, w.start, w.end, w.bytes,
+                        t->attr.containerId, t->attr.runId});
+        }
         return;
     }
     if (auto* h = std::get_if<HostFnOp>(&op)) {
@@ -137,7 +152,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         if (!cfg.dryRun && h->fn) {
             h->fn();
         }
-        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, start + h->simDuration});
+        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, start + h->simDuration, 0,
+                    h->attr.containerId, h->attr.runId});
         return;
     }
     if (auto* r = std::get_if<RecordOp>(&op)) {
@@ -146,13 +162,22 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             std::lock_guard<std::mutex> lock(mClockMutex);
             v = state.vtime;
         }
-        r->event->record(v);
+        r->event->record(v, dev.id(), stream.id());
         return;
     }
     if (auto* w = std::get_if<WaitOp>(&op)) {
         const double evTime = w->event->blockUntilRecorded();
-        std::lock_guard<std::mutex> lock(mClockMutex);
-        state.vtime = std::max(state.vtime, evTime);
+        double       before = 0.0;
+        {
+            std::lock_guard<std::mutex> lock(mClockMutex);
+            before = state.vtime;
+            state.vtime = std::max(state.vtime, evTime);
+        }
+        if (evTime > before && mTrace.enabled()) {
+            mTrace.add({dev.id(), stream.id(), "wait", "wait", before, evTime, 0,
+                        w->attr.containerId, w->attr.runId, w->event->id(),
+                        w->event->recordedDevice(), w->event->recordedStream()});
+        }
         return;
     }
 }

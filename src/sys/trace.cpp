@@ -2,23 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <sstream>
 
 namespace neon::sys {
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// Fixed-notation microsecond value for Chrome's `ts`/`dur` fields (the
+/// viewer rejects scientific notation in some builds).
+std::string usFmt(double seconds)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << seconds * 1e6;
+    return os.str();
+}
+
+}  // namespace
+
 void Trace::enable(bool on)
 {
-    std::lock_guard<std::mutex> lock(mMutex);
-    mEnabled = on;
+    mEnabled.store(on, std::memory_order_relaxed);
 }
 
 void Trace::add(TraceEntry entry)
 {
-    std::lock_guard<std::mutex> lock(mMutex);
-    if (mEnabled) {
-        mEntries.push_back(std::move(entry));
+    if (!enabled()) {
+        return;
     }
+    std::lock_guard<std::mutex> lock(mMutex);
+    mEntries.push_back(std::move(entry));
 }
 
 void Trace::clear()
@@ -33,9 +74,41 @@ std::vector<TraceEntry> Trace::entries() const
     return mEntries;
 }
 
+std::vector<TraceEntry> Trace::entriesForRuns(int firstRunId, int lastRunId) const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    std::vector<TraceEntry> out;
+    for (const auto& e : mEntries) {
+        if (e.runId >= firstRunId && e.runId <= lastRunId) {
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+void Trace::setContext(TraceContext ctx)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mContext = ctx;
+}
+
+TraceContext Trace::context() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mContext;
+}
+
+int Trace::nextRunId()
+{
+    return mNextRunId.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::string Trace::gantt(int columns) const
 {
-    const auto entries = this->entries();
+    auto entries = this->entries();
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [](const TraceEntry& e) { return e.kind == "wait"; }),
+                  entries.end());
     if (entries.empty()) {
         return "(empty trace)\n";
     }
@@ -70,6 +143,78 @@ std::string Trace::gantt(int columns) const
     for (const auto& [key, row] : rows) {
         os << "dev" << key.first << "/s" << key.second << " |" << row << "|\n";
     }
+    return os.str();
+}
+
+std::string Trace::chromeTrace() const
+{
+    auto entries = this->entries();
+    // Chrome/Perfetto expect events sorted by timestamp; a stable sort keeps
+    // enqueue order among equal timestamps.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const TraceEntry& a, const TraceEntry& b) { return a.startV < b.startV; });
+
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string& event) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "\n" << event;
+    };
+
+    // Metadata: name processes after devices and threads after streams.
+    std::map<int, std::vector<int>> rows;
+    for (const auto& e : entries) {
+        auto& streams = rows[e.device];
+        if (std::find(streams.begin(), streams.end(), e.stream) == streams.end()) {
+            streams.push_back(e.stream);
+        }
+    }
+    for (const auto& [dev, streams] : rows) {
+        std::ostringstream m;
+        m << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << dev
+          << ",\"args\":{\"name\":\"dev" << dev << "\"}}";
+        emit(m.str());
+        for (const int s : streams) {
+            std::ostringstream t;
+            t << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << dev << ",\"tid\":" << s
+              << ",\"args\":{\"name\":\"stream" << s << "\"}}";
+            emit(t.str());
+        }
+    }
+
+    for (const auto& e : entries) {
+        std::ostringstream ev;
+        ev << "{\"ph\":\"X\",\"name\":\"" << jsonEscape(e.name.empty() ? e.kind : e.name)
+           << "\",\"cat\":\"" << jsonEscape(e.kind) << "\",\"pid\":" << e.device
+           << ",\"tid\":" << e.stream << ",\"ts\":" << usFmt(e.startV)
+           << ",\"dur\":" << usFmt(std::max(0.0, e.endV - e.startV)) << ",\"args\":{";
+        ev << "\"container\":" << e.containerId << ",\"run\":" << e.runId;
+        if (e.bytes > 0) {
+            ev << ",\"bytes\":" << e.bytes;
+        }
+        ev << "}}";
+        emit(ev.str());
+
+        // Wait edge: flow arrow from the recording (device, stream) at the
+        // event's timestamp to the waiting stream.
+        if (e.kind == "wait" && e.srcDevice >= 0) {
+            std::ostringstream fs;
+            fs << "{\"ph\":\"s\",\"id\":" << e.waitEventId
+               << ",\"name\":\"dep\",\"cat\":\"wait\",\"pid\":" << e.srcDevice
+               << ",\"tid\":" << e.srcStream << ",\"ts\":" << usFmt(e.endV) << "}";
+            emit(fs.str());
+            std::ostringstream ff;
+            ff << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << e.waitEventId
+               << ",\"name\":\"dep\",\"cat\":\"wait\",\"pid\":" << e.device
+               << ",\"tid\":" << e.stream << ",\"ts\":" << usFmt(e.endV) << "}";
+            emit(ff.str());
+        }
+    }
+    os << "\n]}\n";
     return os.str();
 }
 

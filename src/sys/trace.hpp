@@ -1,8 +1,13 @@
 #pragma once
-// Execution trace of the virtual timeline. Used by tests (to assert that
-// communication really overlapped computation) and by the Fig. 1 timeline
-// example to render a text Gantt chart.
+// Execution trace of the virtual timeline. Records structured events
+// (device, stream, kind, name, payload bytes, container/run attribution and
+// wait edges) for every op the engines process. Consumed by tests (to
+// assert that communication really overlapped computation), by the text
+// Gantt chart, by the chrome://tracing / Perfetto JSON exporter and by
+// neon::ExecutionReport aggregation.
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -13,30 +18,64 @@ struct TraceEntry
 {
     int         device = 0;
     int         stream = 0;
-    std::string kind;  ///< "kernel" | "transfer" | "hostFn"
+    std::string kind;  ///< "kernel" | "transfer" | "hostFn" | "wait"
     std::string name;
     double      startV = 0.0;
     double      endV = 0.0;
+    // Structured metadata (defaulted so the historical six-field aggregate
+    // initialization keeps compiling).
+    uint64_t bytes = 0;        ///< transfer payload (kind == "transfer")
+    int      containerId = -1; ///< skeleton graph-node id, -1 outside a skeleton
+    int      runId = -1;       ///< skeleton run() window id, -1 outside a skeleton
+    uint64_t waitEventId = 0;  ///< kind == "wait": id of the awaited event
+    int      srcDevice = -1;   ///< kind == "wait": where the event was recorded
+    int      srcStream = -1;
+};
+
+/// Attribution stamped onto ops at enqueue time (set by the Skeleton around
+/// each task) so engine-side trace entries can name their graph node/run.
+struct TraceContext
+{
+    int containerId = -1;
+    int runId = -1;
 };
 
 class Trace
 {
    public:
     void enable(bool on);
-    [[nodiscard]] bool enabled() const { return mEnabled; }
+    [[nodiscard]] bool enabled() const { return mEnabled.load(std::memory_order_relaxed); }
 
     void add(TraceEntry entry);
     void clear();
 
     [[nodiscard]] std::vector<TraceEntry> entries() const;
+    /// Entries whose runId lies in [firstRunId, lastRunId].
+    [[nodiscard]] std::vector<TraceEntry> entriesForRuns(int firstRunId, int lastRunId) const;
 
-    /// Render a per-(device,stream) text Gantt chart of the virtual timeline.
+    // --- attribution ------------------------------------------------------
+    void setContext(TraceContext ctx);
+    void clearContext() { setContext({}); }
+    [[nodiscard]] TraceContext context() const;
+    /// Fresh id for one Skeleton::run() window (monotone per trace).
+    [[nodiscard]] int nextRunId();
+
+    /// Render a per-(device,stream) text Gantt chart of the virtual
+    /// timeline. Wait entries are omitted (they mark idle time).
     [[nodiscard]] std::string gantt(int columns = 100) const;
+
+    /// Export the trace in the Chrome trace-event JSON format, loadable in
+    /// chrome://tracing and https://ui.perfetto.dev. Devices map to
+    /// processes, streams to threads; virtual seconds map to microseconds.
+    /// Wait edges become flow arrows from the recording stream.
+    [[nodiscard]] std::string chromeTrace() const;
 
    private:
     mutable std::mutex      mMutex;
-    bool                    mEnabled = false;
+    std::atomic<bool>       mEnabled{false};
     std::vector<TraceEntry> mEntries;
+    TraceContext            mContext;
+    std::atomic<int>        mNextRunId{0};
 };
 
 }  // namespace neon::sys

@@ -86,13 +86,13 @@ namespace {
 size_t chunkCount(const DField<float>& f, int dev)
 {
     auto& backend = f.grid().backend();
-    backend.trace().clear();
-    backend.trace().enable(true);
+    backend.profiler().trace().clear();
+    backend.profiler().trace().enable(true);
     f.haloOps()->enqueueHaloSend(dev, backend.stream(dev));
     backend.sync();
-    backend.trace().enable(false);
+    backend.profiler().trace().enable(false);
     size_t n = 0;
-    for (const auto& e : backend.trace().entries()) {
+    for (const auto& e : backend.profiler().trace().entries()) {
         if (e.kind == "transfer") {
             ++n;
         }

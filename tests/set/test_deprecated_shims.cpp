@@ -1,0 +1,63 @@
+// Pre-existing user code written against the old observability surface —
+// backend.trace(), backend.maxVtime(), Skeleton::report(), Options(occ) —
+// must keep compiling and producing the same answers through the
+// [[deprecated]] shims. This file deliberately exercises the old spellings.
+
+#include <gtest/gtest.h>
+
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+#include "skeleton/skeleton.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace neon {
+namespace {
+
+TEST(DeprecatedShims, BackendTraceAliasesProfilerTrace)
+{
+    set::Backend b(2, sys::DeviceType::CPU, sys::SimConfig::dgxA100Like());
+    b.trace().enable(true);
+    b.stream(0).kernel("k", 1000, {1.0, 0.0}, [] {});
+    b.sync();
+    b.trace().enable(false);
+    // Old and new handles observe the same recording.
+    EXPECT_EQ(b.trace().entries().size(), b.profiler().trace().entries().size());
+    ASSERT_FALSE(b.trace().entries().empty());
+    EXPECT_EQ(b.trace().entries()[0].name, "k");
+}
+
+TEST(DeprecatedShims, MaxVtimeAliasesMakespan)
+{
+    set::Backend b(1, sys::DeviceType::CPU, sys::SimConfig::dgxA100Like());
+    b.stream(0).kernel("k", 1'000'000, {100.0, 0.0}, [] {});
+    b.sync();
+    EXPECT_GT(b.maxVtime(), 0.0);
+    EXPECT_DOUBLE_EQ(b.maxVtime(), b.profiler().makespan());
+}
+
+TEST(DeprecatedShims, OptionsOccCtorStillConfigures)
+{
+    const skeleton::Options old(Occ::EXTENDED);
+    EXPECT_EQ(old.occ, Occ::EXTENDED);
+    EXPECT_EQ(old.maxStreams, skeleton::Options().withOcc(Occ::EXTENDED).maxStreams);
+}
+
+TEST(DeprecatedShims, SkeletonReportForwardsToDescribe)
+{
+    set::Backend b = set::Backend::cpu(2);
+    dgrid::DGrid grid(b, {4, 4, 8}, Stencil::laplace7());
+    auto         f = grid.newField<double>("f", 1, 0.0);
+    auto         c = grid.newContainer("touch", [=](set::Loader& l) mutable {
+        auto fp = l.load(f, Access::WRITE);
+        return [=](const dgrid::DCell& cell) mutable { fp(cell) = 1.0; };
+    });
+    skeleton::Skeleton skl(b);
+    skl.sequence({c}, "demo");
+    EXPECT_EQ(skl.report(), skl.describe());
+}
+
+}  // namespace
+}  // namespace neon

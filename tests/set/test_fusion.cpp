@@ -96,10 +96,10 @@ TEST(Fusion, SavesOneKernelLaunchInVirtualTime)
         } else {
             skl.sequence({grid.newContainer("one", one), grid.newContainer("two", two)}, "s");
         }
-        const double t0 = backend.maxVtime();
+        const double t0 = backend.profiler().makespan();
         skl.run();
         skl.sync();
-        return backend.maxVtime() - t0;
+        return backend.profiler().makespan() - t0;
     };
     const double tSeparate = measure(false);
     const double tFused = measure(true);

@@ -25,7 +25,7 @@ double lbmVtime(bool dryRun, int nDev, Occ occ)
     lbm::CavityD3Q19<dgrid::DGrid> solver(grid, 0.6, 0.1, occ);
     solver.run(4);
     backend.sync();
-    return backend.maxVtime();
+    return backend.profiler().makespan();
 }
 
 double cgVtime(bool dryRun, int nDev, Occ occ)
@@ -42,7 +42,7 @@ double cgVtime(bool dryRun, int nDev, Occ occ)
     options.occ = occ;
     poisson::solveSine(grid, x, b, options);
     backend.sync();
-    return backend.maxVtime();
+    return backend.profiler().makespan();
 }
 
 }  // namespace

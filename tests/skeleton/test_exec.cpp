@@ -110,15 +110,15 @@ RunResult runPipeline(int nDev, Occ occ, Backend::EngineKind engine,
     auto axpyA = patterns::axpy(grid, alpha, C, A, "axpyA");
 
     Skeleton skl(backend);
-    skl.sequence({mapB, stencilC, dotBC, alphaOp, axpyA}, "pipeline", Options(occ));
+    skl.sequence({mapB, stencilC, dotBC, alphaOp, axpyA}, "pipeline", Options().withOcc(occ));
 
-    const double v0 = backend.maxVtime();
+    const double v0 = backend.profiler().makespan();
     for (int it = 0; it < kIters; ++it) {
         skl.run();
         skl.sync();
     }
     if (vtimeOut != nullptr) {
-        *vtimeOut = backend.maxVtime() - v0;
+        *vtimeOut = backend.profiler().makespan() - v0;
     }
 
     RunResult out;
@@ -207,17 +207,17 @@ TEST(SkeletonVtime, TraceShowsCommunicationComputationOverlap)
     });
 
     Skeleton skl(backend);
-    skl.sequence({mapB, stencilC}, "overlap", Options(Occ::STANDARD));
-    backend.trace().clear();
-    backend.trace().enable(true);
+    skl.sequence({mapB, stencilC}, "overlap", Options().withOcc(Occ::STANDARD));
+    backend.profiler().trace().clear();
+    backend.profiler().trace().enable(true);
     skl.run();
     skl.sync();
-    backend.trace().enable(false);
+    backend.profiler().trace().enable(false);
 
     // Some transfer interval must overlap some kernel interval on the same
     // device — the definition of OCC.
     bool overlapped = false;
-    const auto entries = backend.trace().entries();
+    const auto entries = backend.profiler().trace().entries();
     for (const auto& t : entries) {
         if (t.kind != "transfer") {
             continue;
@@ -263,7 +263,7 @@ TEST(SkeletonApi, ReportMentionsTasksAndStreams)
     });
     Skeleton skl(b);
     skl.sequence({c}, "demo");
-    auto rep = skl.report();
+    auto rep = skl.describe();
     EXPECT_NE(rep.find("demo"), std::string::npos);
     EXPECT_NE(rep.find("touch"), std::string::npos);
     EXPECT_NE(rep.find("digraph"), std::string::npos);

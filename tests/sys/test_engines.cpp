@@ -90,7 +90,7 @@ TEST_P(EngineTest, KernelsOnDifferentDevicesRunConcurrently)
     b.sync();
     const double one =
         cfg.device.kernelLaunchOverhead + 1e6 * 100.0 / cfg.device.memBandwidth;
-    EXPECT_NEAR(b.maxVtime(), one, 1e-9);
+    EXPECT_NEAR(b.profiler().makespan(), one, 1e-9);
 }
 
 TEST_P(EngineTest, TransferOverlapsComputeOnDifferentStreams)
@@ -111,7 +111,7 @@ TEST_P(EngineTest, TransferOverlapsComputeOnDifferentStreams)
     op.chunks.push_back({bytes, 1, [] {}});
     b.stream(0, 1).transfer(std::move(op));
     b.sync();
-    EXPECT_NEAR(b.maxVtime(), std::max(tKernel, tXfer), std::max(tKernel, tXfer) * 0.01);
+    EXPECT_NEAR(b.profiler().makespan(), std::max(tKernel, tXfer), std::max(tKernel, tXfer) * 0.01);
 }
 
 TEST_P(EngineTest, SoAHaloPaysPerComponentLatency)
@@ -126,7 +126,7 @@ TEST_P(EngineTest, SoAHaloPaysPerComponentLatency)
     }
     b.stream(0).transfer(std::move(op));
     b.sync();
-    EXPECT_NEAR(b.maxVtime(), 8 * sys::transferDuration(cfg, bytes), 1e-12);
+    EXPECT_NEAR(b.profiler().makespan(), 8 * sys::transferDuration(cfg, bytes), 1e-12);
 }
 
 TEST_P(EngineTest, TwoDirectionsUseParallelDmaEngines)
@@ -138,7 +138,7 @@ TEST_P(EngineTest, TwoDirectionsUseParallelDmaEngines)
     op.chunks.push_back({1 << 20, 1, [] {}});
     b.stream(0).transfer(std::move(op));
     b.sync();
-    EXPECT_NEAR(b.maxVtime(), sys::transferDuration(cfg, 1 << 20), 1e-12);
+    EXPECT_NEAR(b.profiler().makespan(), sys::transferDuration(cfg, 1 << 20), 1e-12);
 }
 
 TEST_P(EngineTest, HostFnRunsAndAdvancesClock)
@@ -157,9 +157,9 @@ TEST_P(EngineTest, ResetClocksZeroesVtime)
     b.stream(0).kernel("k", 1000, {100.0, 0.0}, [] {});
     b.stream(1).kernel("k", 1000, {100.0, 0.0}, [] {});
     b.sync();
-    EXPECT_GT(b.maxVtime(), 0.0);
+    EXPECT_GT(b.profiler().makespan(), 0.0);
     b.resetClocks();
-    EXPECT_EQ(b.maxVtime(), 0.0);
+    EXPECT_EQ(b.profiler().makespan(), 0.0);
 }
 
 TEST_P(EngineTest, DryRunSkipsExecutionButKeepsTiming)
@@ -171,21 +171,21 @@ TEST_P(EngineTest, DryRunSkipsExecutionButKeepsTiming)
     b.stream(0).kernel("k", 1'000'000, {100.0, 0.0}, [&ran] { ran = true; });
     b.sync();
     EXPECT_FALSE(ran);
-    EXPECT_GT(b.maxVtime(), 0.0);
+    EXPECT_GT(b.profiler().makespan(), 0.0);
 }
 
 TEST_P(EngineTest, TraceRecordsEntries)
 {
     Backend b = makeBackend(1, sys::SimConfig::dgxA100Like());
-    b.trace().enable(true);
+    b.profiler().trace().enable(true);
     b.stream(0).kernel("myKernel", 1000, {8.0, 0.0}, [] {});
     b.sync();
-    auto entries = b.trace().entries();
+    auto entries = b.profiler().trace().entries();
     ASSERT_EQ(entries.size(), 1u);
     EXPECT_EQ(entries[0].name, "myKernel");
     EXPECT_EQ(entries[0].kind, "kernel");
     EXPECT_LT(entries[0].startV, entries[0].endV);
-    b.trace().enable(false);
+    b.profiler().trace().enable(false);
 }
 
 TEST(SequentialEngine, WaitOnUnrecordedEventThrows)
