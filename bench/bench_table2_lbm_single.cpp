@@ -23,7 +23,7 @@ using namespace neon;
 
 namespace {
 
-index_3d domain()
+index_3d benchDomain()
 {
     return benchtool::paperScale() ? index_3d{64, 64, 64} : index_3d{40, 40, 40};
 }
@@ -40,13 +40,13 @@ void runBench(benchmark::State& state, Fn&& step)
         step(kIters);
     }
     state.counters["MLUPS"] = benchmark::Counter(
-        domain().size() * static_cast<double>(kIters) / 1e6,
+        benchDomain().size() * static_cast<double>(kIters) / 1e6,
         benchmark::Counter::kIsIterationInvariantRate);
 }
 
 void neonTwoPop(benchmark::State& state)
 {
-    dgrid::DGrid grid(set::Backend::cpu(1), domain(), lbm::D3Q19::stencil());
+    dgrid::DGrid grid(set::Backend::cpu(1), benchDomain(), lbm::D3Q19::stencil());
     lbm::CavityD3Q19<dgrid::DGrid> solver(grid, kTau, kLid);
     runBench(state, [&](int n) {
         solver.run(n);
@@ -56,7 +56,7 @@ void neonTwoPop(benchmark::State& state)
 
 void nativeVariant(benchmark::State& state, lbm::native::Variant variant)
 {
-    lbm::native::NativeCavityD3Q19<float> solver(domain(), kTau, kLid, variant);
+    lbm::native::NativeCavityD3Q19<float> solver(benchDomain(), kTau, kLid, variant);
     runBench(state, [&](int n) { solver.run(n); });
 }
 
@@ -71,7 +71,7 @@ double wallMlups(const std::function<void(int)>& step)
         step(kIters);
         const double secs =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        best = std::max(best, domain().size() * static_cast<double>(kIters) / secs / 1e6);
+        best = std::max(best, benchDomain().size() * static_cast<double>(kIters) / secs / 1e6);
     }
     return best;
 }
@@ -99,14 +99,14 @@ int main(int argc, char** argv)
     benchmark::Shutdown();
 
     benchtool::Table table;
-    table.title = "Table II — D3Q19 lid-driven cavity " + domain().to_string() +
+    table.title = "Table II — D3Q19 lid-driven cavity " + benchDomain().to_string() +
                   ", single device, wall-clock";
     table.header = {"Implementation", "MLUPS", "vs cuboltz-like"};
 
-    lbm::native::NativeCavityD3Q19<float> fused(domain(), kTau, kLid, Variant::Fused);
-    lbm::native::NativeCavityD3Q19<float> aa(domain(), kTau, kLid, Variant::AA);
-    lbm::native::NativeCavityD3Q19<float> idx(domain(), kTau, kLid, Variant::TwoPopIdx);
-    dgrid::DGrid grid(set::Backend::cpu(1), domain(), lbm::D3Q19::stencil());
+    lbm::native::NativeCavityD3Q19<float> fused(benchDomain(), kTau, kLid, Variant::Fused);
+    lbm::native::NativeCavityD3Q19<float> aa(benchDomain(), kTau, kLid, Variant::AA);
+    lbm::native::NativeCavityD3Q19<float> idx(benchDomain(), kTau, kLid, Variant::TwoPopIdx);
+    dgrid::DGrid grid(set::Backend::cpu(1), benchDomain(), lbm::D3Q19::stencil());
     lbm::CavityD3Q19<dgrid::DGrid> neonSolver(grid, kTau, kLid);
 
     const double mFused = wallMlups([&](int n) { fused.run(n); });

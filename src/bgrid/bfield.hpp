@@ -1,0 +1,224 @@
+#pragma once
+// BField<T>: metadata over a BGrid. Storage, mirrors and halo registration
+// live in domain::FieldBase; this header adds block-dense addressing.
+// Within a block, voxels address directly (dense); across blocks the grid's
+// 27-direction block-neighbour table resolves the jump and the activity
+// mask is the validity test. Per stencil access the amortized structural
+// cost is (27*4 + 8)/blockVolume bytes — between DField (0) and EField
+// (4 per stencil point), which is the design point of a block-sparse grid.
+
+#include <cassert>
+#include <string>
+
+#include "bgrid/bgrid.hpp"
+#include "domain/field_base.hpp"
+
+namespace neon::bgrid {
+
+template <typename T>
+struct BPartition
+{
+    T*              mem = nullptr;
+    int32_t         nLocalCells = 0;  ///< local blocks * blockVol
+    int32_t         card = 1;
+    int32_t         blockDim = 2;
+    int32_t         blockVol = 8;
+    MemLayout       layout = MemLayout::structOfArrays;
+    T               outside = T{};
+    const uint64_t* masks = nullptr;     ///< activity mask per local block
+    const int32_t*  blockNgh = nullptr;  ///< [ownedBlock][27] -> local block
+    const index_3d* origins = nullptr;   ///< global origin cell per local block
+
+    [[nodiscard]] size_t bufIdx(int64_t cell, int32_t c) const
+    {
+        if (layout == MemLayout::structOfArrays) {
+            return static_cast<size_t>(c) * static_cast<size_t>(nLocalCells) +
+                   static_cast<size_t>(cell);
+        }
+        return static_cast<size_t>(cell) * static_cast<size_t>(card) + static_cast<size_t>(c);
+    }
+
+    [[nodiscard]] int32_t voxelOf(int32_t vx, int32_t vy, int32_t vz) const
+    {
+        return (vz * blockDim + vy) * blockDim + vx;
+    }
+
+    [[nodiscard]] int64_t cellIdx(const BCell& cell) const
+    {
+        return static_cast<int64_t>(cell.block) * blockVol + voxelOf(cell.x, cell.y, cell.z);
+    }
+
+    [[nodiscard]] T& operator()(const BCell& cell, int32_t c = 0)
+    {
+        return mem[bufIdx(cellIdx(cell), c)];
+    }
+    [[nodiscard]] const T& operator()(const BCell& cell, int32_t c = 0) const
+    {
+        return mem[bufIdx(cellIdx(cell), c)];
+    }
+
+    struct NghData
+    {
+        T    value{};
+        bool isValid = false;
+    };
+
+    /// Neighbour read. Same-block reads test the activity mask directly;
+    /// block-crossing reads resolve the target block through the
+    /// 27-direction table, then test its mask. Inactive / outside-domain
+    /// neighbours return the field's outsideValue (isValid == false).
+    [[nodiscard]] NghData nghData(const BCell& cell, const index_3d& offset, int32_t c = 0) const
+    {
+        int32_t nx = cell.x + offset.x;
+        int32_t ny = cell.y + offset.y;
+        int32_t nz = cell.z + offset.z;
+        // stencil radius <= blockDim: each axis crosses at most one block.
+        const int32_t sx = nx < 0 ? -1 : (nx >= blockDim ? 1 : 0);
+        const int32_t sy = ny < 0 ? -1 : (ny >= blockDim ? 1 : 0);
+        const int32_t sz = nz < 0 ? -1 : (nz >= blockDim ? 1 : 0);
+        nx -= sx * blockDim;
+        ny -= sy * blockDim;
+        nz -= sz * blockDim;
+        int32_t block = cell.block;
+        if (sx != 0 || sy != 0 || sz != 0) {
+            const int32_t dir = ((sz + 1) * 3 + (sy + 1)) * 3 + (sx + 1);
+            block = blockNgh[static_cast<size_t>(cell.block) * 27 + static_cast<size_t>(dir)];
+            if (block < 0) {
+                return {outside, false};
+            }
+        }
+        const int32_t v = voxelOf(nx, ny, nz);
+        if (((masks[block] >> v) & 1) == 0) {
+            return {outside, false};
+        }
+        return {mem[bufIdx(static_cast<int64_t>(block) * blockVol + v, c)], true};
+    }
+
+    [[nodiscard]] T nghVal(const BCell& cell, const index_3d& offset, int32_t c = 0) const
+    {
+        return nghData(cell, offset, c).value;
+    }
+
+    /// Interface parity with DPartition::nghValUnchecked. On the
+    /// block-sparse grid the mask/table lookup *is* the validity test, so
+    /// nothing can be skipped.
+    [[nodiscard]] T nghValUnchecked(const BCell& cell, const index_3d& offset,
+                                    int32_t c = 0) const
+    {
+        return nghData(cell, offset, c).value;
+    }
+
+    [[nodiscard]] index_3d globalIdx(const BCell& cell) const
+    {
+        const index_3d& o = origins[cell.block];
+        return {o.x + cell.x, o.y + cell.y, o.z + cell.z};
+    }
+
+    [[nodiscard]] int32_t cardinality() const { return card; }
+};
+
+template <typename T>
+class BField : public domain::FieldBase<BGrid, T>
+{
+    using Base = domain::FieldBase<BGrid, T>;
+
+   public:
+    using Partition = BPartition<T>;
+    using Base::cardinality;
+    using Base::grid;
+    using Base::layout;
+    using Base::outsideValue;
+
+    BField() = default;
+
+    BField(const BGrid& grid, std::string name, int cardinality, T outsideValue, MemLayout layout)
+    {
+        // Whole blocks are allocated (inactive voxels included): the price
+        // of dense in-block addressing, bounded by the block sparsity.
+        std::vector<size_t> cells;
+        for (int d = 0; d < grid.devCount(); ++d) {
+            cells.push_back(static_cast<size_t>(grid.part(d).nLocal()) *
+                            static_cast<size_t>(grid.blockVolume()));
+        }
+        this->initCore(grid, std::move(name), cardinality, outsideValue, layout, cells);
+    }
+
+    /// Shadowed (not virtual): block-structure reads amortized over the
+    /// block's cells — the block-sparse representation's price.
+    [[nodiscard]] double bytesPerItem(Compute compute = Compute::MAP) const
+    {
+        double bytes = Base::bytesPerItem(compute);
+        if (compute == Compute::STENCIL) {
+            // 27-entry neighbour row (int32) + activity mask (uint64),
+            // fetched once per block.
+            bytes += (27.0 * 4.0 + 8.0) / grid().blockVolume();
+        }
+        return bytes;
+    }
+
+    /// Contract (domain::Loadable): the partition is *view-agnostic* — the
+    /// span passed at launch decides which cells are visited; the partition
+    /// only addresses memory. Every DataView must yield the same partition.
+    [[nodiscard]] Partition getPartition(int dev, [[maybe_unused]] DataView view =
+                                                      DataView::STANDARD) const
+    {
+        assert(dev >= 0 && dev < grid().devCount());
+        const auto& g = grid();
+        const auto& p = g.part(dev);
+        Partition   part;
+        part.mem = this->mCore->data.rawDev(dev);
+        part.nLocalCells = p.nLocal() * g.blockVolume();
+        part.card = cardinality();
+        part.blockDim = g.blockSize();
+        part.blockVol = g.blockVolume();
+        part.layout = layout();
+        part.outside = outsideValue();
+        part.masks = g.masks().rawDev(dev);
+        part.blockNgh = g.blockNgh().rawDev(dev);
+        part.origins = g.origins().rawDev(dev);
+        return part;
+    }
+
+    // --- host-side access ---------------------------------------------------
+    [[nodiscard]] T& hRef(const index_3d& g, int32_t c = 0) const
+    {
+        auto [dev, idx] = grid().localOf(g);
+        NEON_CHECK(dev >= 0, "hRef on an inactive cell");
+        Partition p = getPartition(dev);
+        return this->rawHost(dev)[p.bufIdx(idx, c)];
+    }
+
+    [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
+
+    /// Visit every (active cell, component) of the host mirror (per-device
+    /// descriptors hoisted out of the loop).
+    template <typename Fn>  // fn(const index_3d&, int card, T&)
+    void forEachActiveHost(Fn&& fn) const
+    {
+        const BGrid&  g = grid();
+        const int32_t card = cardinality();
+        const int32_t bd = g.blockSize();
+        for (int d = 0; d < g.devCount(); ++d) {
+            const auto&     p = g.part(d);
+            const uint64_t* masks = g.masks().rawHost(d);
+            const index_3d* origins = g.origins().rawHost(d);
+            const Partition part = getPartition(d);
+            T*              host = this->rawHost(d);
+            for (int32_t b = 0; b < p.nOwned; ++b) {
+                uint64_t m = masks[b];
+                while (m != 0) {
+                    const int v = std::countr_zero(m);
+                    m &= m - 1;
+                    const index_3d gc{origins[b].x + v % bd, origins[b].y + (v / bd) % bd,
+                                      origins[b].z + v / (bd * bd)};
+                    for (int32_t c = 0; c < card; ++c) {
+                        fn(gc, c,
+                           host[part.bufIdx(static_cast<int64_t>(b) * part.blockVol + v, c)]);
+                    }
+                }
+            }
+        }
+    }
+};
+
+}  // namespace neon::bgrid

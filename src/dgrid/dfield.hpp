@@ -1,15 +1,16 @@
 #pragma once
 // DField<T>: scalar or vector metadata over a DGrid (paper §IV-C2).
-// Supports SoA/AoS layouts; boundary planes are contiguous per component,
-// so one haloUpdate issues 2 transfers per device for AoS/scalar fields and
-// 2*cardinality transfers for SoA fields — exactly the paper's accounting.
+// Storage, mirrors and halo registration live in domain::FieldBase; this
+// header adds only the dense addressing (DPartition) and plane-based host
+// access. Boundary planes are contiguous per component, so one haloUpdate
+// issues 2 transfers per device for AoS/scalar fields and 2*cardinality
+// transfers for SoA fields — exactly the paper's accounting.
 
-#include <memory>
+#include <cassert>
 #include <string>
 
-#include "core/error.hpp"
 #include "dgrid/dgrid.hpp"
-#include "set/memset.hpp"
+#include "domain/field_base.hpp"
 
 namespace neon::dgrid {
 
@@ -106,229 +107,103 @@ struct DPartition
 };
 
 template <typename T>
-class DField
+class DField : public domain::FieldBase<DGrid, T>
 {
+    using Base = domain::FieldBase<DGrid, T>;
+
    public:
     using Partition = DPartition<T>;
+    using Base::cardinality;
+    using Base::grid;
+    using Base::layout;
+    using Base::outsideValue;
 
     DField() = default;
 
     DField(const DGrid& grid, std::string name, int cardinality, T outsideValue, MemLayout layout)
-        : mImpl(std::make_shared<Impl>())
     {
-        NEON_CHECK(cardinality >= 1, "cardinality must be >= 1");
-        mImpl->grid = grid;
-        mImpl->name = std::move(name);
-        mImpl->card = cardinality;
-        mImpl->outside = outsideValue;
-        mImpl->layout = layout;
-
-        std::vector<size_t> counts;
+        // Each partition stores its owned planes plus the 2r halo planes.
+        std::vector<size_t> cells;
         const int           r = grid.haloRadius();
         for (int d = 0; d < grid.devCount(); ++d) {
             const auto& p = grid.part(d);
-            counts.push_back(static_cast<size_t>(grid.dim().x) *
-                             static_cast<size_t>(grid.dim().y) *
-                             static_cast<size_t>(p.zCount + 2 * r) *
-                             static_cast<size_t>(cardinality));
+            cells.push_back(static_cast<size_t>(grid.dim().x) * static_cast<size_t>(grid.dim().y) *
+                            static_cast<size_t>(p.zCount + 2 * r));
         }
-        mImpl->data = set::MemSet<T>(grid.backend(), mImpl->name, counts);
-        mImpl->halo = std::make_shared<HaloImpl>(mImpl->data, grid, mImpl->name, cardinality,
-                                                 layout);
-        if (!grid.backend().isDryRun()) {
-            fillHost(outsideValue);
-            updateDev();
-        }
+        this->initCore(grid, std::move(name), cardinality, outsideValue, layout, cells);
     }
 
-    [[nodiscard]] bool valid() const { return mImpl != nullptr; }
-
-    // --- Loader/data interface --------------------------------------------
-    [[nodiscard]] uint64_t           uid() const { return mImpl->data.uid(); }
-    [[nodiscard]] const std::string& name() const { return mImpl->name; }
-    [[nodiscard]] double bytesPerItem(Compute = Compute::MAP) const
+    /// Contract (domain::Loadable): the partition is *view-agnostic* — the
+    /// span passed at launch decides which cells are visited; the partition
+    /// only addresses memory. Every DataView must yield the same partition.
+    [[nodiscard]] Partition getPartition(int dev, [[maybe_unused]] DataView view =
+                                                      DataView::STANDARD) const
     {
-        return sizeof(T) * static_cast<double>(mImpl->card);
-    }
-    [[nodiscard]] std::shared_ptr<const set::HaloOps> haloOps() const { return mImpl->halo; }
-
-    [[nodiscard]] Partition getPartition(int dev, DataView /*view*/ = DataView::STANDARD) const
-    {
-        const auto& p = mImpl->grid.part(dev);
+        assert(dev >= 0 && dev < grid().devCount());
+        const auto& p = grid().part(dev);
         Partition   part;
-        part.mem = mImpl->data.rawDev(dev);
-        part.dimX = mImpl->grid.dim().x;
-        part.dimY = mImpl->grid.dim().y;
+        part.mem = this->mCore->data.rawDev(dev);
+        part.dimX = grid().dim().x;
+        part.dimY = grid().dim().y;
         part.zCount = p.zCount;
-        part.haloR = mImpl->grid.haloRadius();
+        part.haloR = grid().haloRadius();
         part.zAlloc = p.zCount + 2 * part.haloR;
-        part.card = mImpl->card;
+        part.card = cardinality();
         part.zOrigin = p.zOrigin;
-        part.globalZ = mImpl->grid.dim().z;
-        part.layout = mImpl->layout;
-        part.outside = mImpl->outside;
+        part.globalZ = grid().dim().z;
+        part.layout = layout();
+        part.outside = outsideValue();
         return part;
     }
 
     // --- host-side access ---------------------------------------------------
-    /// Reference into the host mirror at a global coordinate.
+    /// Reference into the host mirror at a global coordinate (constant-time
+    /// z -> device lookup through the grid's LUT).
     [[nodiscard]] T& hRef(const index_3d& g, int32_t c = 0) const
     {
-        const int dev = devOfZ(g.z);
-        const auto& p = mImpl->grid.part(dev);
+        const int   dev = grid().devOfZ(g.z);
+        const auto& p = grid().part(dev);
         const auto  part = hostPartition(dev);
-        return mImpl->data.rawHost(dev)[part.bufIdx(g.x, g.y, g.z - p.zOrigin + part.haloR, c)];
+        return this->rawHost(dev)[part.bufIdx(g.x, g.y, g.z - p.zOrigin + part.haloR, c)];
     }
 
     [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
 
-    /// Visit every (cell, component) of the host mirror.
+    /// Visit every (cell, component) of the host mirror in global z-major
+    /// order. The partition descriptor and host pointer are hoisted per
+    /// device, so the visit is O(N) (not O(N*P) as a per-cell hRef would be).
     template <typename Fn>  // fn(const index_3d&, int card, T&)
     void forEachHost(Fn&& fn) const
     {
-        mImpl->grid.dim().forEach([&](const index_3d& g) {
-            for (int32_t c = 0; c < mImpl->card; ++c) {
-                fn(g, c, hRef(g, c));
+        const DGrid&   g = grid();
+        const index_3d dim = g.dim();
+        const int32_t  card = cardinality();
+        for (int d = 0; d < g.devCount(); ++d) {
+            const auto&     p = g.part(d);
+            const Partition part = hostPartition(d);
+            T*              host = this->rawHost(d);
+            for (int32_t z = 0; z < p.zCount; ++z) {
+                for (int32_t y = 0; y < dim.y; ++y) {
+                    for (int32_t x = 0; x < dim.x; ++x) {
+                        const index_3d gc{x, y, p.zOrigin + z};
+                        for (int32_t c = 0; c < card; ++c) {
+                            fn(gc, c, host[part.bufIdx(x, y, z + part.haloR, c)]);
+                        }
+                    }
+                }
             }
-        });
+        }
     }
 
     /// Grid-generic alias (every dense cell is active); lets code templated
-    /// over DField/EField use one name.
+    /// over DField/EField/BField use one name.
     template <typename Fn>
     void forEachActiveHost(Fn&& fn) const
     {
         forEachHost(std::forward<Fn>(fn));
     }
 
-    void fillHost(T v) const
-    {
-        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
-            T*           ptr = mImpl->data.rawHost(d);
-            const size_t n = mImpl->data.count(d);
-            std::fill(ptr, ptr + n, v);
-        }
-    }
-
-    /// Host mirror -> device buffers (synchronous, init-time).
-    void updateDev() const { mImpl->data.updateDev(); }
-    /// Device buffers -> host mirror (synchronous).
-    void updateHost() const { mImpl->data.updateHost(); }
-
-    [[nodiscard]] const DGrid& grid() const { return mImpl->grid; }
-    [[nodiscard]] int          cardinality() const { return mImpl->card; }
-    [[nodiscard]] MemLayout    layout() const { return mImpl->layout; }
-    [[nodiscard]] T            outsideValue() const { return mImpl->outside; }
-
-    /// Total device bytes held by this field (all partitions).
-    [[nodiscard]] size_t allocatedBytes() const { return mImpl->data.totalCount() * sizeof(T); }
-
    private:
-    struct Impl
-    {
-        DGrid                     grid;
-        std::string               name;
-        int                       card = 1;
-        T                         outside = T{};
-        MemLayout                 layout = MemLayout::structOfArrays;
-        set::MemSet<T>            data;
-        std::shared_ptr<set::HaloOps> halo;
-    };
-
-    /// HaloOps implementation: sends this device's boundary planes into the
-    /// neighbours' halo planes (explicit-transfer coherency, paper §IV-C2).
-    /// Holds value copies of the shared handles (not the field Impl) so the
-    /// access records it travels in keep the buffers alive without a cycle.
-    class HaloImpl final : public set::HaloOps
-    {
-       public:
-        HaloImpl(set::MemSet<T> data, DGrid grid, std::string name, int card, MemLayout layout)
-            : mData(std::move(data)),
-              mGrid(std::move(grid)),
-              mName(std::move(name)),
-              mCard(card),
-              mLayout(layout)
-        {
-        }
-
-        void enqueueHaloSend(int dev, sys::Stream& stream) const override
-        {
-            const DGrid& grid = mGrid;
-            const int    r = grid.haloRadius();
-            const auto&  p = grid.part(dev);
-            const size_t planeElems =
-                static_cast<size_t>(grid.dim().x) * static_cast<size_t>(grid.dim().y);
-
-            sys::TransferOp op;
-            op.name = "halo(" + mName + ")";
-
-            auto addChunks = [&](int nbr, int direction, int32_t zbSrc, int32_t zbDst) {
-                T* src = mData.rawDev(dev);
-                T* dst = mData.rawDev(nbr);
-                const auto& pn = grid.part(nbr);
-                const int32_t zAllocSrc = p.zCount + 2 * r;
-                const int32_t zAllocDst = pn.zCount + 2 * r;
-                if (mLayout == MemLayout::structOfArrays) {
-                    for (int32_t c = 0; c < mCard; ++c) {
-                        const size_t so =
-                            (static_cast<size_t>(c) * zAllocSrc + static_cast<size_t>(zbSrc)) *
-                            planeElems;
-                        const size_t do_ =
-                            (static_cast<size_t>(c) * zAllocDst + static_cast<size_t>(zbDst)) *
-                            planeElems;
-                        const size_t len = planeElems * static_cast<size_t>(r);
-                        op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
-                                                 std::copy_n(src + so, len, dst + do_);
-                                             }});
-                    }
-                } else {
-                    const size_t rowElems = planeElems * static_cast<size_t>(mCard);
-                    const size_t so = static_cast<size_t>(zbSrc) * rowElems;
-                    const size_t do_ = static_cast<size_t>(zbDst) * rowElems;
-                    const size_t len = rowElems * static_cast<size_t>(r);
-                    op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
-                                             std::copy_n(src + so, len, dst + do_);
-                                         }});
-                }
-            };
-
-            if (p.hasHigh) {
-                // Owned top r planes -> (dev+1)'s low halo [0, r).
-                addChunks(dev + 1, 1, r + p.zCount - r, 0);
-            }
-            if (p.hasLow) {
-                // Owned bottom r planes -> (dev-1)'s high halo.
-                const auto& pn = grid.part(dev - 1);
-                addChunks(dev - 1, 0, r, r + pn.zCount);
-            }
-            if (!op.chunks.empty()) {
-                stream.transfer(std::move(op));
-            }
-        }
-
-        [[nodiscard]] uint64_t    uid() const override { return mData.uid(); }
-        [[nodiscard]] std::string name() const override { return mName; }
-        [[nodiscard]] int         devCount() const override { return mGrid.devCount(); }
-
-       private:
-        set::MemSet<T> mData;
-        DGrid          mGrid;
-        std::string    mName;
-        int            mCard = 1;
-        MemLayout      mLayout = MemLayout::structOfArrays;
-    };
-
-    [[nodiscard]] int devOfZ(int32_t z) const
-    {
-        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
-            const auto& p = mImpl->grid.part(d);
-            if (z >= p.zOrigin && z < p.zOrigin + p.zCount) {
-                return d;
-            }
-        }
-        throw NeonException("z coordinate outside the grid");
-    }
-
     /// Partition descriptor pointing at the host mirror (indexing only).
     [[nodiscard]] Partition hostPartition(int dev) const
     {
@@ -336,15 +211,6 @@ class DField
         part.mem = nullptr;  // callers index via bufIdx against rawHost
         return part;
     }
-
-    std::shared_ptr<Impl> mImpl;
 };
-
-template <typename T>
-DField<T> DGrid::newField(std::string name, int cardinality, T outsideValue,
-                          MemLayout layout) const
-{
-    return DField<T>(*this, std::move(name), cardinality, outsideValue, layout);
-}
 
 }  // namespace neon::dgrid

@@ -17,18 +17,20 @@ std::vector<int32_t> splitBalanced(int32_t total, int nDev)
 }
 
 DGrid::DGrid(set::Backend backend, index_3d dim, Stencil stencil)
-    : mImpl(std::make_shared<Impl>())
 {
     NEON_CHECK(dim.x > 0 && dim.y > 0 && dim.z > 0, "grid dimensions must be positive");
-    mImpl->backend = std::move(backend);
-    mImpl->dim = dim;
-    mImpl->stencil = std::move(stencil);
-    mImpl->haloRadius = std::max(1, mImpl->stencil.zRadius());
+    auto impl = std::make_shared<Impl>();
+    impl->name = "dGrid";
+    impl->backend = std::move(backend);
+    impl->dim = dim;
+    impl->stencil = std::move(stencil);
+    impl->haloRadius = std::max(1, impl->stencil.zRadius());
 
-    const int  nDev = mImpl->backend.devCount();
+    const int  nDev = impl->backend.devCount();
     const auto counts = splitBalanced(dim.z, nDev);
     int32_t    origin = 0;
-    const int  r = mImpl->haloRadius;
+    const int  r = impl->haloRadius;
+    impl->zToDev.reserve(static_cast<size_t>(dim.z));
     for (int d = 0; d < nDev; ++d) {
         PartInfo p;
         p.zOrigin = origin;
@@ -38,9 +40,32 @@ DGrid::DGrid(set::Backend backend, index_3d dim, Stencil stencil)
         // Boundary slabs: cells whose stencil reaches a neighbour partition.
         p.bLow = p.hasLow ? std::min(r, p.zCount) : 0;
         p.bHigh = p.hasHigh ? std::min(r, p.zCount - p.bLow) : 0;
-        mImpl->parts.push_back(p);
+        impl->parts.push_back(p);
+        impl->zToDev.insert(impl->zToDev.end(), static_cast<size_t>(p.zCount), d);
         origin += p.zCount;
     }
+
+    // Halo segments in cell units of a field buffer: per device the local z
+    // extent is [0, zCount + 2r) with the owned planes at [r, r + zCount).
+    const auto plane = static_cast<int64_t>(dim.x) * static_cast<int64_t>(dim.y);
+    impl->haloSegments.resize(static_cast<size_t>(nDev));
+    for (int d = 0; d < nDev; ++d) {
+        const PartInfo& p = impl->parts[static_cast<size_t>(d)];
+        auto&           segs = impl->haloSegments[static_cast<size_t>(d)];
+        if (p.hasHigh) {
+            // Owned top r planes -> (dev+1)'s low halo [0, r).
+            segs.push_back({d + 1, 1, static_cast<int64_t>(p.zCount) * plane, 0,
+                            static_cast<int64_t>(r) * plane});
+        }
+        if (p.hasLow) {
+            // Owned bottom r planes -> (dev-1)'s high halo.
+            const PartInfo& pn = impl->parts[static_cast<size_t>(d - 1)];
+            segs.push_back({d - 1, 0, static_cast<int64_t>(r) * plane,
+                            static_cast<int64_t>(r + pn.zCount) * plane,
+                            static_cast<int64_t>(r) * plane});
+        }
+    }
+    mBase = std::move(impl);
 }
 
 DSpan DGrid::span(int dev, DataView view) const
@@ -48,50 +73,30 @@ DSpan DGrid::span(int dev, DataView view) const
     const PartInfo& p = part(dev);
     switch (view) {
         case DataView::STANDARD:
-            return DSpan(mImpl->dim.x, mImpl->dim.y, {0, p.zCount});
+            return DSpan(dim().x, dim().y, {0, p.zCount});
         case DataView::INTERNAL:
-            return DSpan(mImpl->dim.x, mImpl->dim.y, {p.bLow, p.zCount - p.bLow - p.bHigh});
+            return DSpan(dim().x, dim().y, {p.bLow, p.zCount - p.bLow - p.bHigh});
         case DataView::BOUNDARY:
-            return DSpan(mImpl->dim.x, mImpl->dim.y, {0, p.bLow},
-                         {p.zCount - p.bHigh, p.bHigh});
+            return DSpan(dim().x, dim().y, {0, p.bLow}, {p.zCount - p.bHigh, p.bHigh});
     }
     return {};
-}
-
-int DGrid::devCount() const
-{
-    return mImpl->backend.devCount();
-}
-
-const index_3d& DGrid::dim() const
-{
-    return mImpl->dim;
-}
-
-const Stencil& DGrid::stencil() const
-{
-    return mImpl->stencil;
-}
-
-int DGrid::haloRadius() const
-{
-    return mImpl->haloRadius;
 }
 
 const DGrid::PartInfo& DGrid::part(int dev) const
 {
     NEON_CHECK(dev >= 0 && dev < devCount(), "device index out of range");
-    return mImpl->parts[static_cast<size_t>(dev)];
-}
-
-set::Backend& DGrid::backend() const
-{
-    return mImpl->backend;
+    return impl<Impl>().parts[static_cast<size_t>(dev)];
 }
 
 size_t DGrid::cellCount() const
 {
-    return mImpl->dim.size();
+    return dim().size();
+}
+
+int DGrid::devOfZ(int32_t z) const
+{
+    NEON_CHECK(z >= 0 && z < dim().z, "z coordinate outside the grid");
+    return impl<Impl>().zToDev[static_cast<size_t>(z)];
 }
 
 }  // namespace neon::dgrid

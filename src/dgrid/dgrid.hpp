@@ -2,7 +2,9 @@
 // DGrid: dense Cartesian grid partitioned across devices along z
 // (paper §IV-C: "both Grids decompose the Cartesian domain only on one
 // dimension so that each GPU communicates only with two other neighbour
-// GPUs").
+// GPUs"). Shared state and the factory surface live in domain::GridBase /
+// domain::GridOps; this header adds only the dense-specific parts: the
+// z-slab partition table and the plane-based span.
 
 #include <memory>
 #include <string>
@@ -11,8 +13,8 @@
 #include "core/index3d.hpp"
 #include "core/stencil.hpp"
 #include "core/types.hpp"
+#include "domain/grid_base.hpp"
 #include "set/backend.hpp"
-#include "set/container.hpp"
 
 namespace neon::dgrid {
 
@@ -77,7 +79,7 @@ class DSpan
 template <typename T>
 class DField;
 
-class DGrid
+class DGrid : public domain::GridBase, public domain::GridOps<DGrid>
 {
    public:
     using Cell = DCell;
@@ -110,43 +112,22 @@ class DGrid
     {
     }
 
-    template <typename T>
-    [[nodiscard]] DField<T> newField(std::string name, int cardinality, T outsideValue,
-                                     MemLayout layout = MemLayout::structOfArrays) const;
-
-    /// Wrap a loading lambda into a Container bound to this grid.
-    template <typename LoadingLambda>
-    [[nodiscard]] set::Container newContainer(std::string name, LoadingLambda&& fn) const
-    {
-        return set::Container::factory(std::move(name), *this, std::forward<LoadingLambda>(fn));
-    }
-
     [[nodiscard]] DSpan span(int dev, DataView view) const;
 
-    [[nodiscard]] int             devCount() const;
-    [[nodiscard]] const index_3d& dim() const;
-    [[nodiscard]] const Stencil&  stencil() const;
-    [[nodiscard]] int             haloRadius() const;
     [[nodiscard]] const PartInfo& part(int dev) const;
-    [[nodiscard]] set::Backend&   backend() const;
     [[nodiscard]] size_t          cellCount() const;
-    [[nodiscard]] bool            valid() const { return mImpl != nullptr; }
     /// Grid-generic activity query (every dense cell is active).
     [[nodiscard]] bool isActive(const index_3d& g) const { return dim().contains(g); }
+    /// Constant-time z-plane -> owning device lookup.
+    [[nodiscard]] int devOfZ(int32_t z) const;
 
    private:
-    struct Impl
+    struct Impl : domain::GridBase::BaseImpl
     {
-        set::Backend          backend;
-        index_3d              dim;
-        Stencil               stencil;
-        int                   haloRadius = 0;
         std::vector<PartInfo> parts;
+        /// z -> owning device LUT (one entry per global z-plane).
+        std::vector<int32_t> zToDev;
     };
-    std::shared_ptr<Impl> mImpl;
-
-    template <typename T>
-    friend class DField;
 };
 
 /// Balanced 1-D decomposition of `total` planes over `nDev` devices.

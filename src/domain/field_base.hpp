@@ -1,0 +1,113 @@
+#pragma once
+// FieldBase<Grid, T>: the shared field core (the "FieldCore" of the Domain
+// contract). Owns everything a field needs that is not layout-specific —
+// the MemSet storage, host mirror fill/update, the Loader-facing identity
+// surface (uid/name/bytesPerItem/haloOps) and the SegmentHalo registration.
+// Concrete fields (DField/EField/BField) derive, pass their per-device
+// *cell* counts to initCore(), and add only partition addressing and
+// host-coordinate access.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+#include "domain/halo.hpp"
+#include "set/memset.hpp"
+
+namespace neon::domain {
+
+template <typename GridT, typename T>
+class FieldBase
+{
+   public:
+    using Type = T;
+
+    [[nodiscard]] bool valid() const { return mCore != nullptr; }
+
+    // --- Loader/data interface (the Loadable concept) ----------------------
+    [[nodiscard]] uint64_t           uid() const { return mCore->data.uid(); }
+    [[nodiscard]] const std::string& name() const { return mCore->name; }
+    [[nodiscard]] double             bytesPerItem(Compute = Compute::MAP) const
+    {
+        return sizeof(T) * static_cast<double>(mCore->card);
+    }
+    [[nodiscard]] std::shared_ptr<const set::HaloOps> haloOps() const { return mCore->halo; }
+
+    // --- host mirror --------------------------------------------------------
+    void fillHost(T v) const
+    {
+        for (int d = 0; d < mCore->data.setCount(); ++d) {
+            T*           ptr = mCore->data.rawHost(d);
+            const size_t n = mCore->data.count(d);
+            std::fill(ptr, ptr + n, v);
+        }
+    }
+
+    /// Host mirror -> device buffers (synchronous, init-time).
+    void updateDev() const { mCore->data.updateDev(); }
+    /// Device buffers -> host mirror (synchronous).
+    void updateHost() const { mCore->data.updateHost(); }
+
+    // --- metadata -----------------------------------------------------------
+    [[nodiscard]] const GridT& grid() const { return mCore->grid; }
+    [[nodiscard]] int          cardinality() const { return mCore->card; }
+    [[nodiscard]] MemLayout    layout() const { return mCore->layout; }
+    [[nodiscard]] T            outsideValue() const { return mCore->outside; }
+
+    /// Total device bytes held by this field (all partitions).
+    [[nodiscard]] size_t allocatedBytes() const { return mCore->data.totalCount() * sizeof(T); }
+
+   protected:
+    struct Core
+    {
+        GridT                         grid;
+        std::string                   name;
+        int                           card = 1;
+        T                             outside = T{};
+        MemLayout                     layout = MemLayout::structOfArrays;
+        set::MemSet<T>                data;
+        std::shared_ptr<set::HaloOps> halo;
+    };
+
+    FieldBase() = default;
+
+    /// Allocate storage (`cellCounts[d] * cardinality` elements on device d),
+    /// register the grid's halo segments, and initialize the mirrors to the
+    /// outside value (skipped in dry-run mode, where no host mirrors exist).
+    void initCore(const GridT& grid, std::string name, int cardinality, T outsideValue,
+                  MemLayout layout, const std::vector<size_t>& cellCounts)
+    {
+        NEON_CHECK(cardinality >= 1, "cardinality must be >= 1");
+        mCore = std::make_shared<Core>();
+        mCore->grid = grid;
+        mCore->name = std::move(name);
+        mCore->card = cardinality;
+        mCore->outside = outsideValue;
+        mCore->layout = layout;
+
+        std::vector<size_t> counts;
+        counts.reserve(cellCounts.size());
+        for (size_t cells : cellCounts) {
+            counts.push_back(cells * static_cast<size_t>(cardinality));
+        }
+        mCore->data = set::MemSet<T>(grid.backend(), mCore->name, std::move(counts));
+        mCore->halo = std::make_shared<SegmentHalo<T>>(mCore->data, mCore->name, cardinality,
+                                                       layout, grid.haloSegments());
+        if (!grid.backend().isDryRun()) {
+            fillHost(outsideValue);
+            updateDev();
+        }
+    }
+
+    /// Raw host-mirror pointer for device `dev` (derived classes index it
+    /// through their partition's bufIdx).
+    [[nodiscard]] T* rawHost(int dev) const { return mCore->data.rawHost(dev); }
+
+    std::shared_ptr<Core> mCore;
+};
+
+}  // namespace neon::domain

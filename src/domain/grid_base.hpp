@@ -1,0 +1,109 @@
+#pragma once
+// GridBase / GridOps: the shared core every grid builds on (paper §IV-C:
+// "the Domain level hides data partitioning behind interchangeable grids").
+//
+//   - GridBase owns the state all grids share — name, backend, bounding
+//     dim, stencil union, halo radius and the precomputed HaloSegment
+//     lists — behind one shared_ptr. A concrete grid derives its Impl from
+//     GridBase::BaseImpl (single allocation, accessed via impl<Derived>())
+//     and adds only its partition-specific tables.
+//   - GridOps<Derived> is a CRTP mixin providing the factory surface
+//     (newField / newContainer) so every grid exposes the identical API
+//     and every freshly built field type is checked against FieldConcept
+//     at compile time.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/index3d.hpp"
+#include "core/stencil.hpp"
+#include "core/types.hpp"
+#include "domain/concepts.hpp"
+#include "domain/halo.hpp"
+#include "set/backend.hpp"
+#include "set/container.hpp"
+
+namespace neon::domain {
+
+class GridBase
+{
+   public:
+    [[nodiscard]] bool valid() const { return mBase != nullptr; }
+
+    [[nodiscard]] int                devCount() const { return mBase->backend.devCount(); }
+    [[nodiscard]] const index_3d&    dim() const { return mBase->dim; }
+    [[nodiscard]] const Stencil&     stencil() const { return mBase->stencil; }
+    [[nodiscard]] int                haloRadius() const { return mBase->haloRadius; }
+    [[nodiscard]] set::Backend&      backend() const { return mBase->backend; }
+    [[nodiscard]] const std::string& gridName() const { return mBase->name; }
+
+    /// Per-device halo segments (cell units); fields hand these to
+    /// SegmentHalo verbatim.
+    [[nodiscard]] const std::vector<std::vector<HaloSegment>>& haloSegments() const
+    {
+        return mBase->haloSegments;
+    }
+
+   protected:
+    /// Shared slice of a grid's Impl; concrete grids derive from it.
+    struct BaseImpl
+    {
+        std::string  name;
+        set::Backend backend;
+        index_3d     dim;
+        Stencil      stencil;
+        int          haloRadius = 1;
+        /// haloSegments[dev]: segments device `dev` sends (built by the
+        /// concrete grid's constructor).
+        std::vector<std::vector<HaloSegment>> haloSegments;
+
+        virtual ~BaseImpl() = default;
+    };
+
+    GridBase() = default;
+    explicit GridBase(std::shared_ptr<BaseImpl> base) : mBase(std::move(base)) {}
+
+    /// Typed access to the derived Impl (the grid knows its concrete type).
+    template <typename ImplT>
+    [[nodiscard]] ImplT& impl() const
+    {
+        return static_cast<ImplT&>(*mBase);
+    }
+
+    std::shared_ptr<BaseImpl> mBase;
+};
+
+/// CRTP factory surface. `Derived` must expose `template FieldType<T>`
+/// constructible as FieldType<T>(derived, name, card, outside, layout).
+template <typename Derived>
+class GridOps
+{
+   public:
+    // Deduced return type (Derived::FieldType<T>): Derived is incomplete
+    // while this mixin is being instantiated inside its own definition.
+    template <typename T>
+    [[nodiscard]] auto newField(std::string name, int cardinality, T outsideValue,
+                                MemLayout layout = MemLayout::structOfArrays) const
+    {
+        using Field = typename Derived::template FieldType<T>;
+        static_assert(FieldConcept<Field>,
+                      "Grid::FieldType<T> must satisfy neon::domain::FieldConcept "
+                      "(see docs/domain.md)");
+        return Field(self(), std::move(name), cardinality, outsideValue, layout);
+    }
+
+    /// Wrap a loading lambda into a Container bound to this grid.
+    template <typename LoadingLambda>
+    [[nodiscard]] set::Container newContainer(std::string name, LoadingLambda&& fn) const
+    {
+        return set::Container::factory(std::move(name), self(),
+                                       std::forward<LoadingLambda>(fn));
+    }
+
+   private:
+    [[nodiscard]] const Derived& self() const { return static_cast<const Derived&>(*this); }
+};
+
+}  // namespace neon::domain

@@ -1,15 +1,15 @@
 #pragma once
-// EField<T>: metadata over an EGrid. Neighbour access goes through the
-// grid's connectivity table; the extra index bytes are charged to the cost
-// model, which is exactly the dense/sparse trade-off the paper's Fig. 9
-// explores.
+// EField<T>: metadata over an EGrid. Storage, mirrors and halo registration
+// live in domain::FieldBase; this header adds only the sparse addressing.
+// Neighbour access goes through the grid's connectivity table; the extra
+// index bytes are charged to the cost model, which is exactly the
+// dense/sparse trade-off the paper's Fig. 9 explores.
 
-#include <memory>
+#include <cassert>
 #include <string>
 
-#include "core/error.hpp"
+#include "domain/field_base.hpp"
 #include "egrid/egrid.hpp"
-#include "set/memset.hpp"
 
 namespace neon::egrid {
 
@@ -104,213 +104,93 @@ struct EPartition
 };
 
 template <typename T>
-class EField
+class EField : public domain::FieldBase<EGrid, T>
 {
+    using Base = domain::FieldBase<EGrid, T>;
+
    public:
     using Partition = EPartition<T>;
+    using Base::cardinality;
+    using Base::grid;
+    using Base::layout;
+    using Base::outsideValue;
 
     EField() = default;
 
     EField(const EGrid& grid, std::string name, int cardinality, T outsideValue, MemLayout layout)
-        : mImpl(std::make_shared<Impl>())
     {
-        NEON_CHECK(cardinality >= 1, "cardinality must be >= 1");
-        mImpl->grid = grid;
-        mImpl->name = std::move(name);
-        mImpl->card = cardinality;
-        mImpl->outside = outsideValue;
-        mImpl->layout = layout;
-
-        std::vector<size_t> counts;
+        std::vector<size_t> cells;
         for (int d = 0; d < grid.devCount(); ++d) {
-            counts.push_back(static_cast<size_t>(grid.part(d).nLocal()) *
-                             static_cast<size_t>(cardinality));
+            cells.push_back(static_cast<size_t>(grid.part(d).nLocal()));
         }
-        mImpl->data = set::MemSet<T>(grid.backend(), mImpl->name, counts);
-        mImpl->halo = std::make_shared<HaloImpl>(mImpl->data, grid, mImpl->name, cardinality,
-                                                 layout);
-        if (!grid.backend().isDryRun()) {
-            fillHost(outsideValue);
-            updateDev();
-        }
+        this->initCore(grid, std::move(name), cardinality, outsideValue, layout, cells);
     }
 
-    [[nodiscard]] bool valid() const { return mImpl != nullptr; }
-
-    // --- Loader/data interface --------------------------------------------
-    [[nodiscard]] uint64_t           uid() const { return mImpl->data.uid(); }
-    [[nodiscard]] const std::string& name() const { return mImpl->name; }
+    /// Shadowed (not virtual): connectivity-table reads are the sparse
+    /// representation's price, charged per stencil access.
     [[nodiscard]] double bytesPerItem(Compute compute = Compute::MAP) const
     {
-        double bytes = sizeof(T) * static_cast<double>(mImpl->card);
+        double bytes = Base::bytesPerItem(compute);
         if (compute == Compute::STENCIL) {
-            // Connectivity-table reads: the sparse representation's price.
-            bytes += 4.0 * mImpl->grid.stencilPointCount();
+            bytes += 4.0 * grid().stencilPointCount();
         }
         return bytes;
     }
-    [[nodiscard]] std::shared_ptr<const set::HaloOps> haloOps() const { return mImpl->halo; }
 
-    [[nodiscard]] Partition getPartition(int dev, DataView /*view*/ = DataView::STANDARD) const
+    /// Contract (domain::Loadable): the partition is *view-agnostic* — the
+    /// span passed at launch decides which cells are visited; the partition
+    /// only addresses memory. Every DataView must yield the same partition.
+    [[nodiscard]] Partition getPartition(int dev, [[maybe_unused]] DataView view =
+                                                      DataView::STANDARD) const
     {
-        const auto& grid = mImpl->grid;
-        const auto& p = grid.part(dev);
+        assert(dev >= 0 && dev < grid().devCount());
+        const auto& g = grid();
+        const auto& p = g.part(dev);
         Partition   part;
-        part.mem = mImpl->data.rawDev(dev);
+        part.mem = this->mCore->data.rawDev(dev);
         part.nLocal = p.nLocal();
         part.nOwned = p.nOwned;
-        part.card = mImpl->card;
-        part.layout = mImpl->layout;
-        part.outside = mImpl->outside;
-        part.conn = grid.connectivity().rawDev(dev);
-        part.nPoints = grid.stencilPointCount();
-        part.lut = grid.offsetLut().rawDev(dev);
-        part.lutR = grid.lutRadius();
-        part.coords = grid.coords().rawDev(dev);
+        part.card = cardinality();
+        part.layout = layout();
+        part.outside = outsideValue();
+        part.conn = g.connectivity().rawDev(dev);
+        part.nPoints = g.stencilPointCount();
+        part.lut = g.offsetLut().rawDev(dev);
+        part.lutR = g.lutRadius();
+        part.coords = g.coords().rawDev(dev);
         return part;
     }
 
     // --- host-side access ---------------------------------------------------
     [[nodiscard]] T& hRef(const index_3d& g, int32_t c = 0) const
     {
-        auto [dev, idx] = mImpl->grid.localOf(g);
+        auto [dev, idx] = grid().localOf(g);
         NEON_CHECK(dev >= 0, "hRef on an inactive cell");
         Partition p = getPartition(dev);
-        return mImpl->data.rawHost(dev)[p.bufIdx(idx, c)];
+        return this->rawHost(dev)[p.bufIdx(idx, c)];
     }
 
     [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
 
-    /// Visit every (active cell, component) of the host mirror.
+    /// Visit every (active cell, component) of the host mirror (per-device
+    /// descriptors hoisted out of the loop).
     template <typename Fn>  // fn(const index_3d&, int card, T&)
     void forEachActiveHost(Fn&& fn) const
     {
-        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
-            const auto&     p = mImpl->grid.part(d);
-            const index_3d* coords = mImpl->grid.coords().rawHost(d);
-            Partition       part = getPartition(d);
-            T*              host = mImpl->data.rawHost(d);
+        const EGrid& g = grid();
+        const int32_t card = cardinality();
+        for (int d = 0; d < g.devCount(); ++d) {
+            const auto&     p = g.part(d);
+            const index_3d* coords = g.coords().rawHost(d);
+            const Partition part = getPartition(d);
+            T*              host = this->rawHost(d);
             for (int32_t i = 0; i < p.nOwned; ++i) {
-                for (int32_t c = 0; c < mImpl->card; ++c) {
+                for (int32_t c = 0; c < card; ++c) {
                     fn(coords[i], c, host[part.bufIdx(i, c)]);
                 }
             }
         }
     }
-
-    void fillHost(T v) const
-    {
-        for (int d = 0; d < mImpl->grid.devCount(); ++d) {
-            T*           ptr = mImpl->data.rawHost(d);
-            const size_t n = mImpl->data.count(d);
-            std::fill(ptr, ptr + n, v);
-        }
-    }
-
-    void updateDev() const { mImpl->data.updateDev(); }
-    void updateHost() const { mImpl->data.updateHost(); }
-
-    [[nodiscard]] const EGrid& grid() const { return mImpl->grid; }
-    [[nodiscard]] int          cardinality() const { return mImpl->card; }
-    [[nodiscard]] MemLayout    layout() const { return mImpl->layout; }
-    [[nodiscard]] T            outsideValue() const { return mImpl->outside; }
-
-    [[nodiscard]] size_t allocatedBytes() const { return mImpl->data.totalCount() * sizeof(T); }
-
-   private:
-    struct Impl
-    {
-        EGrid                         grid;
-        std::string                   name;
-        int                           card = 1;
-        T                             outside = T{};
-        MemLayout                     layout = MemLayout::structOfArrays;
-        set::MemSet<T>                data;
-        std::shared_ptr<set::HaloOps> halo;
-    };
-
-    class HaloImpl final : public set::HaloOps
-    {
-       public:
-        HaloImpl(set::MemSet<T> data, EGrid grid, std::string name, int card, MemLayout layout)
-            : mData(std::move(data)),
-              mGrid(std::move(grid)),
-              mName(std::move(name)),
-              mCard(card),
-              mLayout(layout)
-        {
-        }
-
-        void enqueueHaloSend(int dev, sys::Stream& stream) const override
-        {
-            const auto& p = mGrid.part(dev);
-            sys::TransferOp op;
-            op.name = "halo(" + mName + ")";
-
-            auto addChunks = [&](int nbr, int direction, int32_t srcFirst, int32_t dstFirst,
-                                 int32_t cells) {
-                if (cells == 0) {
-                    return;
-                }
-                T*          src = mData.rawDev(dev);
-                T*          dst = mData.rawDev(nbr);
-                const auto& pn = mGrid.part(nbr);
-                if (mLayout == MemLayout::structOfArrays) {
-                    for (int32_t c = 0; c < mCard; ++c) {
-                        const size_t so = static_cast<size_t>(c) * p.nLocal() +
-                                          static_cast<size_t>(srcFirst);
-                        const size_t do_ = static_cast<size_t>(c) * pn.nLocal() +
-                                           static_cast<size_t>(dstFirst);
-                        const size_t len = static_cast<size_t>(cells);
-                        op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
-                                                 std::copy_n(src + so, len, dst + do_);
-                                             }});
-                    }
-                } else {
-                    const size_t so = static_cast<size_t>(srcFirst) * mCard;
-                    const size_t do_ = static_cast<size_t>(dstFirst) * mCard;
-                    const size_t len = static_cast<size_t>(cells) * mCard;
-                    op.chunks.push_back({len * sizeof(T), direction, [src, dst, so, do_, len] {
-                                             std::copy_n(src + so, len, dst + do_);
-                                         }});
-                }
-            };
-
-            if (dev < mGrid.devCount() - 1) {
-                // Own boundary-high segment -> (dev+1)'s ghost-low range.
-                const auto& pn = mGrid.part(dev + 1);
-                addChunks(dev + 1, 1, p.nOwned - p.nBdrHigh, pn.nOwned, p.nBdrHigh);
-            }
-            if (dev > 0) {
-                // Own boundary-low segment -> (dev-1)'s ghost-high range.
-                const auto& pn = mGrid.part(dev - 1);
-                addChunks(dev - 1, 0, 0, pn.nOwned + pn.nGhostLow, p.nBdrLow);
-            }
-            if (!op.chunks.empty()) {
-                stream.transfer(std::move(op));
-            }
-        }
-
-        [[nodiscard]] uint64_t    uid() const override { return mData.uid(); }
-        [[nodiscard]] std::string name() const override { return mName; }
-        [[nodiscard]] int         devCount() const override { return mGrid.devCount(); }
-
-       private:
-        set::MemSet<T> mData;
-        EGrid          mGrid;
-        std::string    mName;
-        int            mCard = 1;
-        MemLayout      mLayout = MemLayout::structOfArrays;
-    };
-
-    std::shared_ptr<Impl> mImpl;
 };
-
-template <typename T>
-EField<T> EGrid::newField(std::string name, int cardinality, T outsideValue,
-                          MemLayout layout) const
-{
-    return EField<T>(*this, std::move(name), cardinality, outsideValue, layout);
-}
 
 }  // namespace neon::egrid

@@ -7,14 +7,10 @@
 
 namespace neon::egrid {
 
-struct EGrid::Impl
+struct EGrid::Impl : domain::GridBase::BaseImpl
 {
-    set::Backend backend;
-    index_3d     dim;
-    Stencil      stencil;
-    int          haloRadius = 1;
-    int          lutR = 1;
-    size_t       totalActive = 0;
+    int    lutR = 1;
+    size_t totalActive = 0;
 
     std::vector<PartInfo> parts;
 
@@ -42,10 +38,11 @@ struct EGrid::Impl
 
 EGrid::EGrid(set::Backend backend, index_3d dim,
              const std::function<bool(const index_3d&)>& active, Stencil stencil)
-    : mImpl(std::make_shared<Impl>())
 {
     NEON_CHECK(dim.x > 0 && dim.y > 0 && dim.z > 0, "grid dimensions must be positive");
-    Impl& g = *mImpl;
+    auto  impl = std::make_shared<Impl>();
+    Impl& g = *impl;
+    g.name = "eGrid";
     g.backend = std::move(backend);
     g.dim = dim;
     g.stencil = std::move(stencil);
@@ -130,6 +127,24 @@ EGrid::EGrid(set::Backend backend, index_3d dim,
         }
     }
 
+    // Halo segments in cell units: the boundary classes are contiguous by
+    // construction, so one segment per neighbour suffices.
+    g.haloSegments.resize(static_cast<size_t>(nDev));
+    for (int d = 0; d < nDev; ++d) {
+        const PartInfo& p = g.parts[static_cast<size_t>(d)];
+        auto&           segs = g.haloSegments[static_cast<size_t>(d)];
+        if (d < nDev - 1) {
+            // Own boundary-high segment -> (dev+1)'s ghost-low range.
+            const PartInfo& pn = g.parts[static_cast<size_t>(d + 1)];
+            segs.push_back({d + 1, 1, p.nOwned - p.nBdrHigh, pn.nOwned, p.nBdrHigh});
+        }
+        if (d > 0) {
+            // Own boundary-low segment -> (dev-1)'s ghost-high range.
+            const PartInfo& pn = g.parts[static_cast<size_t>(d - 1)];
+            segs.push_back({d - 1, 0, 0, pn.nOwned + pn.nGhostLow, p.nBdrLow});
+        }
+    }
+
     // Allocate structure tables (fake allocations in dry-run: the bytes
     // still count against device capacity, reproducing Fig. 9's OOM row).
     const int nPts = g.stencil.pointCount();
@@ -146,6 +161,7 @@ EGrid::EGrid(set::Backend backend, index_3d dim,
         g.lut = set::MemSet<int16_t>(g.backend, "egrid.lut", lutCounts);
     }
     if (dry) {
+        mBase = std::move(impl);
         return;
     }
 
@@ -250,6 +266,7 @@ EGrid::EGrid(set::Backend backend, index_3d dim,
     g.conn.updateDev();
     g.coords.updateDev();
     g.lut.updateDev();
+    mBase = std::move(impl);
 }
 
 ESpan EGrid::span(int dev, DataView view) const
@@ -266,43 +283,24 @@ ESpan EGrid::span(int dev, DataView view) const
     return {};
 }
 
-int EGrid::devCount() const
-{
-    return mImpl->backend.devCount();
-}
-
-const index_3d& EGrid::dim() const
-{
-    return mImpl->dim;
-}
-
-const Stencil& EGrid::stencil() const
-{
-    return mImpl->stencil;
-}
-
 const EGrid::PartInfo& EGrid::part(int dev) const
 {
     NEON_CHECK(dev >= 0 && dev < devCount(), "device index out of range");
-    return mImpl->parts[static_cast<size_t>(dev)];
-}
-
-set::Backend& EGrid::backend() const
-{
-    return mImpl->backend;
+    return impl<Impl>().parts[static_cast<size_t>(dev)];
 }
 
 size_t EGrid::activeCount() const
 {
-    return mImpl->totalActive;
+    return impl<Impl>().totalActive;
 }
 
 bool EGrid::isActive(const index_3d& g) const
 {
-    if (!mImpl->dim.contains(g) || mImpl->hostLocal.empty()) {
+    const Impl& i = impl<Impl>();
+    if (!i.dim.contains(g) || i.hostLocal.empty()) {
         return false;
     }
-    return mImpl->hostLocal[mImpl->dim.pitch(g)] != 0;
+    return i.hostLocal[i.dim.pitch(g)] != 0;
 }
 
 std::pair<int, int32_t> EGrid::localOf(const index_3d& g) const
@@ -310,33 +308,34 @@ std::pair<int, int32_t> EGrid::localOf(const index_3d& g) const
     if (!isActive(g)) {
         return {-1, -1};
     }
-    const uint64_t v = mImpl->hostLocal[mImpl->dim.pitch(g)] - 1;
+    const Impl&    i = impl<Impl>();
+    const uint64_t v = i.hostLocal[i.dim.pitch(g)] - 1;
     return {static_cast<int>(v >> 40), static_cast<int32_t>(v & ((1ull << 40) - 1))};
 }
 
 const set::MemSet<int32_t>& EGrid::connectivity() const
 {
-    return mImpl->conn;
+    return impl<Impl>().conn;
 }
 
 const set::MemSet<index_3d>& EGrid::coords() const
 {
-    return mImpl->coords;
+    return impl<Impl>().coords;
 }
 
 const set::MemSet<int16_t>& EGrid::offsetLut() const
 {
-    return mImpl->lut;
+    return impl<Impl>().lut;
 }
 
 int EGrid::lutRadius() const
 {
-    return mImpl->lutR;
+    return impl<Impl>().lutR;
 }
 
 int EGrid::stencilPointCount() const
 {
-    return mImpl->stencil.pointCount();
+    return impl<Impl>().stencil.pointCount();
 }
 
 }  // namespace neon::egrid

@@ -2,7 +2,8 @@
 // EGrid: element-sparse grid (paper §IV-C2). Only the cells of interest are
 // stored, together with a connectivity table mapping each cell and stencil
 // point to the neighbour's local index. Partitioning is 1-D along z, with
-// plane cuts chosen to balance the *active* cell count per device.
+// plane cuts chosen to balance the *active* cell count per device. Shared
+// state and the factory surface live in domain::GridBase / domain::GridOps.
 //
 // Per-partition cell ordering (all in (z,y,x) order within each class):
 //   [boundary-low][internal][boundary-high][ghost-low][ghost-high]
@@ -12,13 +13,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/index3d.hpp"
 #include "core/stencil.hpp"
 #include "core/types.hpp"
+#include "domain/grid_base.hpp"
 #include "set/backend.hpp"
-#include "set/container.hpp"
 #include "set/memset.hpp"
 
 namespace neon::egrid {
@@ -66,7 +68,7 @@ class ESpan
 template <typename T>
 class EField;
 
-class EGrid
+class EGrid : public domain::GridBase, public domain::GridOps<EGrid>
 {
    public:
     using Cell = ECell;
@@ -100,25 +102,10 @@ class EGrid
     {
     }
 
-    template <typename T>
-    [[nodiscard]] EField<T> newField(std::string name, int cardinality, T outsideValue,
-                                     MemLayout layout = MemLayout::structOfArrays) const;
-
-    template <typename LoadingLambda>
-    [[nodiscard]] set::Container newContainer(std::string name, LoadingLambda&& fn) const
-    {
-        return set::Container::factory(std::move(name), *this, std::forward<LoadingLambda>(fn));
-    }
-
     [[nodiscard]] ESpan span(int dev, DataView view) const;
 
-    [[nodiscard]] int             devCount() const;
-    [[nodiscard]] const index_3d& dim() const;
-    [[nodiscard]] const Stencil&  stencil() const;
     [[nodiscard]] const PartInfo& part(int dev) const;
-    [[nodiscard]] set::Backend&   backend() const;
     [[nodiscard]] size_t          activeCount() const;
-    [[nodiscard]] bool            valid() const { return mImpl != nullptr; }
 
     /// Host-side: is a global coordinate active? (false in dry-run mode)
     [[nodiscard]] bool isActive(const index_3d& g) const;
@@ -134,10 +121,6 @@ class EGrid
 
    private:
     struct Impl;
-    std::shared_ptr<Impl> mImpl;
-
-    template <typename T>
-    friend class EField;
 };
 
 }  // namespace neon::egrid

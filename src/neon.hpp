@@ -3,8 +3,9 @@
 //
 //   #include "neon.hpp"
 //
-// Layers (paper §IV): System (sys) -> Set -> Domain (dgrid/egrid) ->
-// Skeleton, plus patterns/solvers/apps built on top.
+// Layers (paper §IV): System (sys) -> Set -> Domain (shared contract in
+// domain/, grids in dgrid/egrid/bgrid) -> Skeleton, plus
+// patterns/solvers/apps built on top.
 
 #include "core/error.hpp"
 #include "core/index3d.hpp"
@@ -26,6 +27,13 @@
 #include "set/profiler.hpp"
 #include "set/scalar.hpp"
 
+#include "domain/concepts.hpp"
+#include "domain/field_base.hpp"
+#include "domain/grid_base.hpp"
+#include "domain/halo.hpp"
+
+#include "bgrid/bfield.hpp"
+#include "bgrid/bgrid.hpp"
 #include "dgrid/dfield.hpp"
 #include "dgrid/dgrid.hpp"
 #include "egrid/efield.hpp"

@@ -141,6 +141,10 @@ struct Backend::Impl
     // streams[dev][idx], lazily grown
     mutable std::mutex                                      streamMutex;
     mutable std::vector<std::vector<std::unique_ptr<sys::Stream>>> streams;
+    // Tail barrier of the most recent Skeleton run (inter-run dependency
+    // chain shared by every skeleton on this backend).
+    mutable std::mutex    barrierMutex;
+    mutable sys::EventPtr runBarrier;
 
     ~Impl()
     {
@@ -245,6 +249,18 @@ sys::Stream& Backend::stream(int dev, int streamIdx) const
 void Backend::sync() const
 {
     mImpl->engine->syncAll();
+}
+
+sys::EventPtr Backend::runBarrier() const
+{
+    std::lock_guard<std::mutex> lock(mImpl->barrierMutex);
+    return mImpl->runBarrier;
+}
+
+void Backend::setRunBarrier(sys::EventPtr barrier) const
+{
+    std::lock_guard<std::mutex> lock(mImpl->barrierMutex);
+    mImpl->runBarrier = std::move(barrier);
 }
 
 double Backend::makespanNow() const

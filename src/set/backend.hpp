@@ -93,6 +93,15 @@ class Backend
     /// Block the host until every stream on every device drained.
     void sync() const;
 
+    /// Tail barrier of the most recent Skeleton run on this backend (null
+    /// before the first run). Backend-wide, not per-skeleton: successive
+    /// runs reuse the same fields regardless of which Skeleton object
+    /// issued them, so run N+1 must wait on run N's tail even when the
+    /// two runs come from different skeletons (e.g. even/odd LBM steps).
+    [[nodiscard]] sys::EventPtr runBarrier() const;
+    /// Publish the tail barrier the next run must wait on.
+    void setRunBarrier(sys::EventPtr barrier) const;
+
     /// Zero all virtual clocks (between measured benchmark runs).
     void resetClocks() const;
 

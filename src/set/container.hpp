@@ -12,6 +12,7 @@
 
 #include "core/error.hpp"
 #include "core/types.hpp"
+#include "domain/concepts.hpp"
 #include "set/access.hpp"
 #include "set/backend.hpp"
 #include "set/loader.hpp"
@@ -39,6 +40,9 @@ class Container
     template <typename Grid, typename LoadingLambda>
     static Container factory(std::string name, const Grid& grid, LoadingLambda fn)
     {
+        static_assert(neon::domain::GridConcept<Grid>,
+                      "Container::factory requires a type satisfying "
+                      "neon::domain::GridConcept (see docs/domain.md)");
         Container c;
         c.mImpl = std::make_shared<Impl>();
         c.mImpl->name = std::move(name);
@@ -72,6 +76,9 @@ class Container
     static Container reduceFactory(std::string name, const Grid& grid, GlobalScalar<T> result,
                                    LoadingLambda fn)
     {
+        static_assert(neon::domain::GridConcept<Grid>,
+                      "Container::reduceFactory requires a type satisfying "
+                      "neon::domain::GridConcept (see docs/domain.md)");
         Container c;
         c.mImpl = std::make_shared<Impl>();
         c.mImpl->name = std::move(name);

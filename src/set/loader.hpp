@@ -5,6 +5,9 @@
 // device and data view. The Loader hides the SPMD nature of the Container,
 // acting like the rank mechanism in MPI.
 
+#include <type_traits>
+
+#include "domain/concepts.hpp"
 #include "set/access.hpp"
 
 namespace neon::set {
@@ -33,6 +36,9 @@ class Loader
     template <typename DataT>
     auto load(DataT& data, Access access, Compute compute = Compute::MAP)
     {
+        static_assert(neon::domain::Loadable<std::remove_cvref_t<DataT>>,
+                      "Loader::load requires a type satisfying neon::domain::Loadable "
+                      "(see docs/domain.md)");
         if (isParsing()) {
             DataAccess rec;
             rec.uid = data.uid();

@@ -358,9 +358,6 @@ struct Skeleton::Impl
     std::vector<Task> tasks;
     int               nStreams = 1;
     bool              defined = false;
-    /// Barrier event recorded at the end of the previous run(): iteration
-    /// N+1 must not overtake iteration N on a different stream.
-    sys::EventPtr runBarrier;
     /// Run-id window [windowFirst, windowLast]: opened by the first run()
     /// after a sync(), extended by subsequent run()s, closed by sync().
     int  windowFirst = -1;
@@ -389,7 +386,6 @@ void Skeleton::sequence(std::vector<set::Container> containers, std::string name
     applyOcc(s.graph, options.occ, s.backend.devCount());
     s.graph.transitiveReduce();
     s.tasks = scheduleGraph(s.graph, options.maxStreams, &s.nStreams);
-    s.runBarrier = nullptr;
     s.defined = true;
     log::debug("skeleton '", s.appName, "': ", s.graph.aliveCount(), " nodes, ", s.tasks.size(),
                " tasks, ", s.nStreams, " streams, occ=", to_string(options.occ));
@@ -415,14 +411,16 @@ void Skeleton::run()
 
     // Inter-run barrier: every stream waits for the previous run's tail
     // before dispatching new work (successive skeleton runs are dependent
-    // by construction — they reuse the same fields).
-    if (s.runBarrier != nullptr) {
+    // by construction — they reuse the same fields). The barrier lives on
+    // the *backend*, not this skeleton: alternating skeletons (e.g. the
+    // even/odd steps of a ping-pong LBM) are chained too.
+    if (const sys::EventPtr prevBarrier = s.backend.runBarrier(); prevBarrier != nullptr) {
         for (int d = 0; d < nDev; ++d) {
             for (int st = 0; st < s.nStreams; ++st) {
                 if (d == 0 && st == 0) {
                     continue;  // FIFO order on the barrier's own stream
                 }
-                s.backend.stream(d, st).wait(s.runBarrier);
+                s.backend.stream(d, st).wait(prevBarrier);
             }
         }
     }
@@ -486,7 +484,7 @@ void Skeleton::run()
     }
     auto barrier = std::make_shared<sys::Event>();
     s.backend.stream(0, 0).record(barrier);
-    s.runBarrier = std::move(barrier);
+    s.backend.setRunBarrier(std::move(barrier));
     trace.clearContext();
 }
 

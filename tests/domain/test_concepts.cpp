@@ -1,0 +1,54 @@
+// The domain contract, checked where it is declared: every shipped grid
+// satisfies GridConcept, every shipped field satisfies FieldConcept (and
+// therefore Loadable), GlobalScalar satisfies Loadable, and arbitrary
+// types do not. These are compile-time guarantees — the TEST bodies only
+// exist so a test runner reports them.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgrid/bfield.hpp"
+#include "dgrid/dfield.hpp"
+#include "domain/concepts.hpp"
+#include "egrid/efield.hpp"
+#include "set/scalar.hpp"
+
+namespace neon::domain {
+
+// -- grids -------------------------------------------------------------------
+static_assert(GridConcept<dgrid::DGrid>, "DGrid must satisfy GridConcept");
+static_assert(GridConcept<egrid::EGrid>, "EGrid must satisfy GridConcept");
+static_assert(GridConcept<bgrid::BGrid>, "BGrid must satisfy GridConcept");
+
+// -- fields ------------------------------------------------------------------
+static_assert(FieldConcept<dgrid::DField<double>>, "DField must satisfy FieldConcept");
+static_assert(FieldConcept<egrid::EField<float>>, "EField must satisfy FieldConcept");
+static_assert(FieldConcept<bgrid::BField<int32_t>>, "BField must satisfy FieldConcept");
+
+// FieldConcept subsumes Loadable (what Loader::load statically requires).
+static_assert(Loadable<dgrid::DField<double>>);
+static_assert(Loadable<egrid::EField<float>>);
+static_assert(Loadable<bgrid::BField<int32_t>>);
+
+// GlobalScalar participates in containers without being a field.
+static_assert(Loadable<set::GlobalScalar<double>>);
+static_assert(!FieldConcept<set::GlobalScalar<double>>);
+
+// -- negative space ----------------------------------------------------------
+static_assert(!GridConcept<int>);
+static_assert(!GridConcept<dgrid::DField<double>>);
+static_assert(!Loadable<std::vector<double>>);
+static_assert(!FieldConcept<dgrid::DGrid>);
+
+// Spans are the per-(device, view) iteration contract.
+static_assert(SpanConcept<dgrid::DSpan>);
+static_assert(SpanConcept<egrid::ESpan>);
+static_assert(SpanConcept<bgrid::BSpan>);
+
+TEST(DomainConcepts, CompileTimeContractHolds)
+{
+    SUCCEED();  // the static_asserts above are the test
+}
+
+}  // namespace neon::domain

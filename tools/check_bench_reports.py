@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validate the ExecutionReport JSON files the fig7/8/9 benches emit.
+
+Usage: check_bench_reports.py BENCH_fig7_lbm_scaling_report.json [...]
+
+Each report must parse as JSON and carry the ExecutionReport schema
+(docs/observability.md): the overlap/halo/critical-path aggregates plus
+per-device, per-stream and per-container breakdowns. Exit status is
+nonzero on the first missing or malformed report, so CI fails when a
+bench stops writing the observability payload.
+"""
+
+import json
+import sys
+
+TOP_LEVEL_KEYS = [
+    "window",
+    "events",
+    "overlapPercent",
+    "haloBytes",
+    "deviceUtilization",
+    "criticalPath",
+    "waitTime",
+    "devices",
+    "streams",
+    "containers",
+]
+
+DEVICE_KEYS = ["device", "computeBusy", "transferBusy", "overlap", "haloBytes"]
+
+
+def check(path: str) -> list[str]:
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except OSError as exc:
+        return [f"{path}: cannot read: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON: {exc}"]
+
+    for key in TOP_LEVEL_KEYS:
+        if key not in report:
+            errors.append(f"{path}: missing key '{key}'")
+    if errors:
+        return errors
+
+    if not 0.0 <= report["overlapPercent"] <= 100.0:
+        errors.append(f"{path}: overlapPercent {report['overlapPercent']} out of [0, 100]")
+    if report["haloBytes"] < 0:
+        errors.append(f"{path}: negative haloBytes")
+    if report["criticalPath"] < 0.0:
+        errors.append(f"{path}: negative criticalPath")
+    if report["events"] <= 0:
+        errors.append(f"{path}: no recorded events — was the profiler enabled?")
+    if not report["devices"]:
+        errors.append(f"{path}: empty device breakdown")
+    for dev in report["devices"]:
+        for key in DEVICE_KEYS:
+            if key not in dev:
+                errors.append(f"{path}: device entry missing '{key}'")
+                break
+    if not report["containers"]:
+        errors.append(f"{path}: empty container breakdown")
+    return errors
+
+
+def main() -> int:
+    paths = sys.argv[1:]
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        errors = check(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"FAIL {error}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
