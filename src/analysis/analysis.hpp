@@ -1,0 +1,20 @@
+#pragma once
+// Umbrella header for neon::analysis (docs/analysis.md): the dependency-
+// graph lint and the happens-before schedule race detector.
+//
+//   // Lint a skeleton's graph + schedule against its access records:
+//   analysis::AnalysisReport rep = app.validate();
+//
+//   // Race-check an execution (any engine):
+//   auto an = backend.analysis();
+//   an.enable();
+//   app.run(); app.sync();
+//   auto races = an.raceReport();
+//
+//   // Or run any example/bench under NEON_ANALYSIS=1 (tools/neon-lint).
+
+#include "analysis/access_model.hpp"   // NOLINT(misc-include-cleaner)
+#include "analysis/env.hpp"            // NOLINT(misc-include-cleaner)
+#include "analysis/graph_lint.hpp"     // NOLINT(misc-include-cleaner)
+#include "analysis/race_detector.hpp"  // NOLINT(misc-include-cleaner)
+#include "analysis/report.hpp"         // NOLINT(misc-include-cleaner)

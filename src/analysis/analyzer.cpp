@@ -1,0 +1,17 @@
+#include "set/analyzer.hpp"
+
+#include "analysis/race_detector.hpp"
+
+namespace neon::set {
+
+analysis::AnalysisReport Analyzer::raceReport() const
+{
+    return analysis::raceReport(log(), mBackend.devCount());
+}
+
+analysis::AnalysisReport Analyzer::drainRaces() const
+{
+    return analysis::drainRaces(log(), mBackend.devCount());
+}
+
+}  // namespace neon::set

@@ -1,0 +1,38 @@
+#pragma once
+// Dependency-graph lint (neon::analysis, docs/analysis.md). Re-derives the
+// *expected* conflicts from the containers' access records — segment-level
+// for coverage, uid-level for edge justification — and diffs them against
+// the graph the Skeleton actually built and scheduled:
+//
+//  - missingDependency: two nodes with a segment-level conflict and no
+//    data-edge path between them in either direction;
+//  - spuriousEdge: a data edge whose endpoints share no written uid;
+//  - staleHaloRead: a halo-reading stencil with no halo-update provider on
+//    a path before it (fresh: no non-halo writer in between);
+//  - graphCycle, levelOrder (level/stream/task order contradicting an
+//    edge), deadNodeScheduled, missingWait (cross-stream dependency with
+//    no event wait in the task list).
+//
+// The two conflict granularities differ on purpose: coverage must not
+// demand edges the segment model proves unnecessary (the OCC splits), and
+// edge justification must not flag the uid-level edges buildGraph
+// deliberately adds (e.g. a global-scalar read ordered against a partial
+// write it never touches).
+
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "skeleton/graph.hpp"
+#include "skeleton/skeleton.hpp"
+
+namespace neon::analysis {
+
+/// Structural checks only (no schedule yet).
+AnalysisReport lintGraph(const skeleton::Graph& graph, int devCount);
+
+/// Structural checks plus level/stream/task-order/event-wait checks.
+AnalysisReport lintSchedule(const skeleton::Graph&            graph,
+                            const std::vector<skeleton::Task>& tasks, int nStreams,
+                            int devCount);
+
+}  // namespace neon::analysis

@@ -1,0 +1,44 @@
+#include "analysis/node_meta.hpp"
+
+namespace neon::analysis {
+
+sys::ContainerMeta metaFor(const skeleton::GraphNode& node, int devCount)
+{
+    sys::ContainerMeta m;
+    m.label = node.label();
+    m.view = node.view;
+    m.pattern = node.pattern();
+    switch (node.kind()) {
+        case set::Container::Kind::Compute: m.kind = sys::MetaNodeKind::Compute; break;
+        case set::Container::Kind::Halo: m.kind = sys::MetaNodeKind::Halo; break;
+        case set::Container::Kind::ScalarOp: m.kind = sys::MetaNodeKind::ScalarOp; break;
+    }
+    std::shared_ptr<const set::HaloOps> halo;
+    for (const auto& a : node.container.accesses()) {
+        m.accesses.push_back({a.uid, a.access, a.compute, a.scalar, a.halo != nullptr, a.name});
+        if (a.halo != nullptr) {
+            halo = a.halo;
+        }
+    }
+    if (m.kind == sys::MetaNodeKind::Halo && halo != nullptr) {
+        m.haloPeers.resize(static_cast<size_t>(devCount));
+        for (int d = 0; d < devCount; ++d) {
+            m.haloPeers[static_cast<size_t>(d)] = halo->peers(d);
+        }
+    }
+    return m;
+}
+
+std::shared_ptr<const sys::ContainerMetaMap> metaMapFor(const skeleton::Graph& graph,
+                                                        int                    devCount)
+{
+    auto map = std::make_shared<sys::ContainerMetaMap>();
+    for (int id = 0; id < graph.nodeCount(); ++id) {
+        if (graph.node(id).alive) {
+            (*map)[id] = metaFor(graph.node(id), devCount);
+        }
+    }
+    return map;
+}
+
+}  // namespace neon::analysis

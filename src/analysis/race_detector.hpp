@@ -1,0 +1,96 @@
+#pragma once
+// Happens-before race detector over the ScheduleLog (neon::analysis,
+// docs/analysis.md). Every (device, stream) pair owns a vector clock;
+// work ops tick their stream's component, event records snapshot the
+// stream's clock, event waits join the snapshot in. Each op's read/write
+// segment sets (access_model.hpp, resolved through the per-run
+// ContainerMeta maps) are checked against per-segment epochs: the last
+// write plus the per-stream reads since. A conflicting pair not ordered by
+// the resulting partial order is a race — regardless of which engine
+// happened to execute the schedule, because the log is engine-independent.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/access_model.hpp"
+#include "analysis/report.hpp"
+#include "sys/schedule_log.hpp"
+
+namespace neon::analysis {
+
+/// Incremental detector: feed() records strictly in enqueue order.
+class RaceDetector
+{
+   public:
+    explicit RaceDetector(int devCount) : mDevCount(devCount) {}
+
+    /// Consume one record. `meta` is the ContainerMeta map of the record's
+    /// run window (may be null: unattributed ops advance clocks but carry
+    /// no read/write sets).
+    void feed(const sys::ScheduleRecord& r, const sys::ContainerMetaMap* meta);
+
+    /// All findings so far (cumulative).
+    [[nodiscard]] const AnalysisReport& report() const { return mReport; }
+    /// Findings added since the previous takeNew() (for incremental drains).
+    [[nodiscard]] AnalysisReport takeNew();
+
+   private:
+    struct Prev  // one prior access to a segment
+    {
+        int         slot = -1;
+        uint64_t    clock = 0;
+        int         node = -1;
+        int         run = -1;
+        int         device = -1;
+        std::string label;
+    };
+    struct SegState
+    {
+        bool              hasWrite = false;
+        Prev              write;
+        std::vector<Prev> reads;  ///< newest read per slot since the write
+    };
+
+    using Clock = std::vector<uint64_t>;
+
+    int           slotOf(int device, int stream);
+    static bool   happensBefore(const Prev& p, const Clock& cur);
+    static void   joinInto(Clock& dst, const Clock& src);
+    void          onRead(const Segment& s, const Prev& cur, const Clock& vc);
+    void          onWrite(const Segment& s, const Prev& cur, const Clock& vc);
+    void          race(const char* flavor, const Segment& s, const Prev& a, const Prev& b);
+    void          pruneEvents();
+    [[nodiscard]] std::string segName(const Segment& s) const;
+
+    int mDevCount = 1;
+
+    std::unordered_map<uint64_t, int> mSlots;  ///< (dev,stream) -> clock index
+    std::vector<Clock>                mVC;     ///< per-slot vector clock
+
+    std::unordered_map<uint64_t, Clock> mEventClock;
+    std::vector<uint64_t>               mEventOrder;  ///< for pruning
+    std::unordered_set<uint64_t>        mPrunedEvents;
+    /// Waits seen before their event's record (enqueue-order inversion).
+    std::unordered_map<uint64_t, sys::ScheduleRecord> mPendingWaits;
+
+    std::unordered_map<Segment, SegState, SegmentHash> mSegs;
+    std::unordered_map<uint64_t, std::string>          mFieldName;
+    /// Meta maps whose halo-carrying uids were already collected.
+    std::unordered_map<const sys::ContainerMetaMap*, std::unordered_set<uint64_t>> mHaloUids;
+
+    std::unordered_set<std::string> mDedup;
+    AnalysisReport                  mReport;
+    size_t                          mNewFrom = 0;
+};
+
+/// One-shot: analyze every record currently in `log`.
+AnalysisReport raceReport(const sys::ScheduleLog& log, int devCount);
+
+/// Incremental: analyze only records appended since the previous drain
+/// (detector state lives in log.consumerState()); returns new findings.
+AnalysisReport drainRaces(sys::ScheduleLog& log, int devCount);
+
+}  // namespace neon::analysis

@@ -98,6 +98,19 @@ class SegmentHalo final : public set::HaloOps
     [[nodiscard]] std::string name() const override { return mName; }
     [[nodiscard]] int         devCount() const override { return mData.setCount(); }
 
+    /// Receivers actually present in the segment list (sparse grids may
+    /// have no active cells on a partition boundary).
+    [[nodiscard]] std::vector<int> peers(int dev) const override
+    {
+        std::vector<int> out;
+        for (const HaloSegment& seg : mSegments[static_cast<size_t>(dev)]) {
+            if (seg.count > 0 && std::find(out.begin(), out.end(), seg.nbr) == out.end()) {
+                out.push_back(seg.nbr);
+            }
+        }
+        return out;
+    }
+
    private:
     set::MemSet<T>                        mData;
     std::string                           mName;

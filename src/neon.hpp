@@ -20,6 +20,7 @@
 #include "sys/stream.hpp"
 #include "sys/trace.hpp"
 
+#include "set/analyzer.hpp"
 #include "set/backend.hpp"
 #include "set/container.hpp"
 #include "set/loader.hpp"
@@ -41,6 +42,8 @@
 
 #include "skeleton/graph.hpp"
 #include "skeleton/skeleton.hpp"
+
+#include "analysis/analysis.hpp"
 
 #include "patterns/blas.hpp"
 #include "patterns/io_vtk.hpp"

@@ -30,6 +30,22 @@ class HaloOps
     [[nodiscard]] virtual uint64_t    uid() const = 0;
     [[nodiscard]] virtual std::string name() const = 0;
     [[nodiscard]] virtual int         devCount() const = 0;
+
+    /// Devices that receive data when device `dev` runs its halo send —
+    /// the write set of the halo-update op on `dev` (neon::analysis).
+    /// Default: the 1-D partition neighbours; implementations with an
+    /// explicit segment list narrow it to the segments actually present.
+    [[nodiscard]] virtual std::vector<int> peers(int dev) const
+    {
+        std::vector<int> out;
+        if (dev > 0) {
+            out.push_back(dev - 1);
+        }
+        if (dev + 1 < devCount()) {
+            out.push_back(dev + 1);
+        }
+        return out;
+    }
 };
 
 /// One recorded use of a Multi-GPU data object inside a Container.
@@ -42,6 +58,10 @@ struct DataAccess
     std::string name;
     /// Non-null iff this is a stencil read of a halo-carrying field.
     std::shared_ptr<const HaloOps> halo;
+    /// True for GlobalScalar accesses: the data is a device-mirrored scalar
+    /// with per-device reduction partials, not a partitioned field
+    /// (neon::analysis segments them differently).
+    bool scalar = false;
 };
 
 using AccessList = std::vector<DataAccess>;

@@ -1,0 +1,50 @@
+#pragma once
+// Analyzer: the race-analysis entry point for a Backend (docs/analysis.md),
+// mirroring the Profiler facade:
+//
+//   auto an = backend.analysis();
+//   an.enable();                  // start recording the schedule log
+//   app.run(); app.sync();
+//   auto report = an.raceReport();  // happens-before race check
+//
+// Analyzer is a cheap value handle onto the backend's engine-owned
+// ScheduleLog; copies observe the same recording. The check is engine-
+// independent: the log captures host enqueue order, so sequential and
+// threaded engines produce the same verdict for the same schedule.
+
+#include "analysis/report.hpp"
+#include "set/backend.hpp"
+#include "sys/schedule_log.hpp"
+
+namespace neon::set {
+
+class Analyzer
+{
+   public:
+    explicit Analyzer(Backend backend) : mBackend(std::move(backend)) {}
+
+    /// Start/stop recording schedule records (off by default; recording
+    /// costs one small entry per enqueued op).
+    void enable(bool on = true) { log().enable(on); }
+    [[nodiscard]] bool enabled() const { return log().enabled(); }
+    /// Drop all recorded ops, run metadata and detector state.
+    void clear() { log().clear(); }
+
+    /// The underlying engine-owned schedule log.
+    [[nodiscard]] sys::ScheduleLog& log() const { return mBackend.engine().scheduleLog(); }
+
+    /// Happens-before race report over every op recorded so far.
+    [[nodiscard]] analysis::AnalysisReport raceReport() const;
+    /// Incremental drain: report only findings from ops appended since the
+    /// previous drain (detector state persists inside the log).
+    [[nodiscard]] analysis::AnalysisReport drainRaces() const;
+
+   private:
+    Backend mBackend;
+};
+
+}  // namespace neon::set
+
+namespace neon {
+using set::Analyzer;
+}

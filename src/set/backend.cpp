@@ -1,10 +1,12 @@
 #include "set/backend.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "set/analyzer.hpp"
 #include "set/profiler.hpp"
 #include "sys/device.hpp"
 #include "sys/sequential_engine.hpp"
@@ -171,6 +173,14 @@ Backend::Backend(int nDevices, sys::DeviceType type, sys::SimConfig config, Engi
 Backend Backend::make(BackendSpec spec)
 {
     NEON_CHECK(spec.nDevices >= 1, "backend needs at least one device");
+    // NEON_ENGINE overrides the engine choice process-wide so tools like
+    // tools/neon-lint can run every example under both engines unmodified.
+    if (const char* env = std::getenv("NEON_ENGINE"); env != nullptr && *env != '\0') {
+        const std::string e(env);
+        NEON_CHECK(e == "sequential" || e == "threaded",
+                   "NEON_ENGINE must be 'sequential' or 'threaded', got '" + e + "'");
+        spec.engine = e == "sequential" ? EngineKind::Sequential : EngineKind::Threaded;
+    }
     auto  implPtr = std::make_shared<Impl>();
     Impl& impl = *implPtr;
     impl.spec = std::move(spec);
@@ -249,6 +259,11 @@ sys::Stream& Backend::stream(int dev, int streamIdx) const
 void Backend::sync() const
 {
     mImpl->engine->syncAll();
+    // All work is drained: a good moment for the NEON_ANALYSIS race-detector
+    // drain (analysis/env.cpp installs the callback).
+    if (mImpl->engine->scheduleLog().enabled()) {
+        mImpl->engine->scheduleLog().runSyncCallback();
+    }
 }
 
 sys::EventPtr Backend::runBarrier() const
@@ -291,6 +306,11 @@ sys::Trace& Backend::trace() const
 Profiler Backend::profiler() const
 {
     return Profiler(*this);
+}
+
+Analyzer Backend::analysis() const
+{
+    return Analyzer(*this);
 }
 
 uint64_t Backend::newDataUid()

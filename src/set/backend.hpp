@@ -22,6 +22,7 @@
 namespace neon::set {
 
 class Profiler;
+class Analyzer;
 
 enum class EngineKind : uint8_t
 {
@@ -109,6 +110,10 @@ class Backend
     /// makespan, ExecutionReport aggregation (set/profiler.hpp).
     [[nodiscard]] Profiler profiler() const;
 
+    /// Race-analysis facade: schedule-log recording plus happens-before
+    /// race reports (set/analyzer.hpp, docs/analysis.md).
+    [[nodiscard]] Analyzer analysis() const;
+
     /// Virtual makespan so far (max stream vtime).
     [[deprecated("use profiler().makespan()")]] [[nodiscard]] double maxVtime() const;
     [[deprecated("use profiler().trace()")]] [[nodiscard]] sys::Trace& trace() const;
@@ -181,7 +186,9 @@ class EventSet
 
 }  // namespace neon::set
 
-// Complete the forward-declared Profiler for users of backend.profiler():
-// profiler.hpp's own include of this header is guard-skipped, so the cycle
-// resolves with both classes defined in either include order.
+// Complete the forward-declared Profiler/Analyzer for users of
+// backend.profiler() / backend.analysis(): each facade header's own include
+// of this header is guard-skipped, so the cycle resolves with all classes
+// defined in either include order.
+#include "set/analyzer.hpp"  // NOLINT
 #include "set/profiler.hpp"  // NOLINT

@@ -95,6 +95,7 @@ class Container
             out.compute = Compute::REDUCE;
             out.bytesPerItem = 0.0;
             out.name = result.name();
+            out.scalar = true;
             rec.push_back(std::move(out));
         };
         c.mImpl->itemsFn = [grid](int dev, DataView view) { return grid.span(dev, view).count(); };
@@ -162,10 +163,10 @@ class Container
         const double dur = 2.0 * backend.config().link.latency + 1e-6;
         c.mImpl->parser = [reads, writes](AccessList& rec) {
             for (const auto& s : reads) {
-                rec.push_back({s.uid(), Access::READ, Compute::MAP, 0.0, s.name(), nullptr});
+                rec.push_back({s.uid(), Access::READ, Compute::MAP, 0.0, s.name(), nullptr, true});
             }
             for (const auto& s : writes) {
-                rec.push_back({s.uid(), Access::WRITE, Compute::MAP, 0.0, s.name(), nullptr});
+                rec.push_back({s.uid(), Access::WRITE, Compute::MAP, 0.0, s.name(), nullptr, true});
             }
         };
         c.mImpl->itemsFn = [](int, DataView) -> size_t { return 1; };

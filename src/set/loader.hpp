@@ -49,6 +49,9 @@ class Loader
             if (compute == Compute::STENCIL && access == Access::READ) {
                 rec.halo = data.haloOps();
             }
+            if constexpr (requires { std::remove_cvref_t<DataT>::kIsGlobalScalar; }) {
+                rec.scalar = true;
+            }
             mRecord->push_back(std::move(rec));
         }
         return data.getPartition(mDevIdx, mView);

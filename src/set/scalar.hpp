@@ -30,6 +30,10 @@ template <typename T>
 class GlobalScalar
 {
    public:
+    /// Marker the Loader uses to stamp access records as scalar accesses
+    /// (neon::analysis segments scalars by global/partial, not by view).
+    static constexpr bool kIsGlobalScalar = true;
+
     GlobalScalar() = default;
 
     GlobalScalar(Backend backend, std::string name, T initial = T{},

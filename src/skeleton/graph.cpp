@@ -53,6 +53,7 @@ int Graph::addNode(set::Container container, DataView view)
 void Graph::addEdge(int from, int to, EdgeKind kind)
 {
     NEON_CHECK(from != to, "self edges are not allowed");
+    NEON_CHECK(node(from).alive && node(to).alive, "addEdge: both endpoints must be alive");
     // Deduplicate: one data edge per pair is enough (keep the first kind);
     // a hint on top of a data edge is redundant.
     if (kind == EdgeKind::Hint) {
@@ -72,7 +73,13 @@ void Graph::removeEdges(int from, int to)
 
 void Graph::killNode(int id)
 {
-    node(id).alive = false;
+    GraphNode& n = node(id);
+    n.alive = false;
+    // Clear any scheduling state: a dead node must not contribute to level
+    // widths or stream counts if it dies after a schedule was computed.
+    n.level = -1;
+    n.stream = -1;
+    n.needsEvent = false;
     std::erase_if(mEdges, [&](const GraphEdge& e) { return e.from == id || e.to == id; });
 }
 

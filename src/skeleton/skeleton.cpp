@@ -4,8 +4,12 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/env.hpp"
+#include "analysis/graph_lint.hpp"
+#include "analysis/node_meta.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
+#include "sys/schedule_log.hpp"
 
 namespace neon::skeleton {
 
@@ -265,6 +269,17 @@ std::vector<Task> scheduleGraph(Graph& g, int maxStreams, int* streamCountOut)
 {
     NEON_CHECK(maxStreams >= 1, "need at least one stream");
 
+    // Rescheduling (e.g. after a graph mutation) must not inherit stale
+    // state from a previous schedule of the same graph.
+    for (int id = 0; id < g.nodeCount(); ++id) {
+        GraphNode& n = g.node(id);
+        if (n.alive) {
+            n.level = -1;
+            n.stream = -1;
+            n.needsEvent = false;
+        }
+    }
+
     // (a) Map nodes to streams: BFS levels over data edges; inherit a
     // parent's stream when free to skip events later (paper §V-C(a)).
     const auto levels = g.bfsLevels(false);
@@ -363,6 +378,13 @@ struct Skeleton::Impl
     int  windowFirst = -1;
     int  windowLast = -1;
     bool windowClosed = true;
+    /// Container metadata of the current graph, registered per run window
+    /// with the schedule log; rebuilt lazily after (re)definition.
+    std::shared_ptr<const sys::ContainerMetaMap> metaCache;
+    /// Fault injection (tests/analysis): chain runs through a skeleton-local
+    /// barrier instead of the backend-wide one.
+    bool          perSkeletonBarrier = false;
+    sys::EventPtr localBarrier;
 };
 
 Skeleton::Skeleton(set::Backend backend) : mImpl(std::make_shared<Impl>())
@@ -387,8 +409,45 @@ void Skeleton::sequence(std::vector<set::Container> containers, std::string name
     s.graph.transitiveReduce();
     s.tasks = scheduleGraph(s.graph, options.maxStreams, &s.nStreams);
     s.defined = true;
+    s.metaCache.reset();
     log::debug("skeleton '", s.appName, "': ", s.graph.aliveCount(), " nodes, ", s.tasks.size(),
                " tasks, ", s.nStreams, " streams, occ=", to_string(options.occ));
+
+    // NEON_ANALYSIS=1: lint every schedule as it is built and arm the race
+    // detector over this backend's command stream (docs/analysis.md).
+    if (analysis::envEnabled()) {
+        analysis::installEnvHooks(s.backend);
+        analysis::reportEnvViolations("graph lint ('" + s.appName + "')", validate());
+    }
+}
+
+analysis::AnalysisReport Skeleton::validate() const
+{
+    const Impl& s = *mImpl;
+    NEON_CHECK(s.defined, "Skeleton::sequence must be called before validate()");
+    return analysis::lintSchedule(s.graph, s.tasks, s.nStreams, s.backend.devCount());
+}
+
+void Skeleton::debugMutateGraph(const std::function<void(Graph&)>& fn)
+{
+    Impl& s = *mImpl;
+    NEON_CHECK(s.defined, "Skeleton::sequence must be called before debugMutateGraph()");
+    fn(s.graph);
+    s.tasks = scheduleGraph(s.graph, s.options.maxStreams, &s.nStreams);
+    s.metaCache.reset();
+}
+
+void Skeleton::debugMutateTasks(const std::function<void(std::vector<Task>&)>& fn)
+{
+    Impl& s = *mImpl;
+    NEON_CHECK(s.defined, "Skeleton::sequence must be called before debugMutateTasks()");
+    fn(s.tasks);
+}
+
+void Skeleton::debugUsePerSkeletonBarrier(bool on)
+{
+    mImpl->perSkeletonBarrier = on;
+    mImpl->localBarrier = nullptr;
 }
 
 void Skeleton::run()
@@ -409,12 +468,24 @@ void Skeleton::run()
     s.windowLast = runId;
     trace.setContext({-1, runId});
 
+    // While the schedule log records, attribute this run's ops to the graph
+    // that issued them so the race detector can attach read/write sets.
+    sys::ScheduleLog& slog = s.backend.engine().scheduleLog();
+    if (slog.enabled()) {
+        if (s.metaCache == nullptr) {
+            s.metaCache = analysis::metaMapFor(s.graph, nDev);
+        }
+        slog.registerRunMeta(runId, s.metaCache);
+    }
+
     // Inter-run barrier: every stream waits for the previous run's tail
     // before dispatching new work (successive skeleton runs are dependent
     // by construction — they reuse the same fields). The barrier lives on
     // the *backend*, not this skeleton: alternating skeletons (e.g. the
     // even/odd steps of a ping-pong LBM) are chained too.
-    if (const sys::EventPtr prevBarrier = s.backend.runBarrier(); prevBarrier != nullptr) {
+    if (const sys::EventPtr prevBarrier =
+            s.perSkeletonBarrier ? s.localBarrier : s.backend.runBarrier();
+        prevBarrier != nullptr) {
         for (int d = 0; d < nDev; ++d) {
             for (int st = 0; st < s.nStreams; ++st) {
                 if (d == 0 && st == 0) {
@@ -484,7 +555,11 @@ void Skeleton::run()
     }
     auto barrier = std::make_shared<sys::Event>();
     s.backend.stream(0, 0).record(barrier);
-    s.backend.setRunBarrier(std::move(barrier));
+    if (s.perSkeletonBarrier) {
+        s.localBarrier = std::move(barrier);
+    } else {
+        s.backend.setRunBarrier(std::move(barrier));
+    }
     trace.clearContext();
 }
 

@@ -9,11 +9,13 @@
 //      strategy (§V-C),
 // and executes the resulting ordered task list on every run().
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/report.hpp"
 #include "core/error.hpp"
 #include "core/types.hpp"
 #include "set/backend.hpp"
@@ -99,6 +101,23 @@ class Skeleton
     /// ExecutionReport over the most recent run()/sync() window. Requires
     /// trace recording (backend().profiler().enable()) around the runs.
     [[nodiscard]] ExecutionReport executionReport() const;
+
+    // --- static analysis (docs/analysis.md) --------------------------------
+    /// Lint the built graph and schedule against the containers' access
+    /// records: dependency coverage, edge justification, halo freshness,
+    /// level/stream/task-order consistency and event-wait completeness.
+    /// Clean report == the schedule provably orders every conflict.
+    [[nodiscard]] analysis::AnalysisReport validate() const;
+
+    // --- fault-injection hooks (tests/analysis; not part of the API) -------
+    /// Mutate the graph (drop an edge, kill a node, ...) and reschedule, as
+    /// if the pipeline itself had produced the mutated result.
+    void debugMutateGraph(const std::function<void(Graph&)>& fn);
+    /// Mutate the scheduled task list in place (no rescheduling).
+    void debugMutateTasks(const std::function<void(std::vector<Task>&)>& fn);
+    /// Revert to the historical per-skeleton inter-run barrier (misses the
+    /// cross-skeleton dependency chain; the race detector must catch it).
+    void debugUsePerSkeletonBarrier(bool on);
 
    private:
     struct Impl;

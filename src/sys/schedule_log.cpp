@@ -1,0 +1,86 @@
+#include "sys/schedule_log.hpp"
+
+namespace neon::sys {
+
+std::string to_string(ScheduleOpKind k)
+{
+    switch (k) {
+        case ScheduleOpKind::Kernel: return "kernel";
+        case ScheduleOpKind::Transfer: return "transfer";
+        case ScheduleOpKind::HostFn: return "hostFn";
+        case ScheduleOpKind::Record: return "record";
+        case ScheduleOpKind::Wait: return "wait";
+    }
+    return "?";
+}
+
+void ScheduleLog::add(ScheduleRecord r)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    r.seq = mNextSeq++;
+    mRecords.push_back(r);
+}
+
+void ScheduleLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mRecords.clear();
+    mMetaByRun.clear();
+    mConsumerState.reset();
+    // seq keeps counting: consumers key on indices of the new record list.
+    mNextSeq = 0;
+}
+
+size_t ScheduleLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mRecords.size();
+}
+
+std::vector<ScheduleRecord> ScheduleLog::records() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mRecords;
+}
+
+std::vector<ScheduleRecord> ScheduleLog::recordsFrom(size_t cursor) const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    if (cursor >= mRecords.size()) {
+        return {};
+    }
+    return {mRecords.begin() + static_cast<ptrdiff_t>(cursor), mRecords.end()};
+}
+
+void ScheduleLog::registerRunMeta(int runId, std::shared_ptr<const ContainerMetaMap> meta)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mMetaByRun[runId] = std::move(meta);
+}
+
+std::shared_ptr<const ContainerMetaMap> ScheduleLog::metaForRun(int runId) const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    auto it = mMetaByRun.find(runId);
+    return it == mMetaByRun.end() ? nullptr : it->second;
+}
+
+void ScheduleLog::setSyncCallback(std::function<void()> cb)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mSyncCallback = std::move(cb);
+}
+
+void ScheduleLog::runSyncCallback()
+{
+    std::function<void()> cb;
+    {
+        std::lock_guard<std::mutex> lock(mMutex);
+        cb = mSyncCallback;
+    }
+    if (cb) {
+        cb();
+    }
+}
+
+}  // namespace neon::sys

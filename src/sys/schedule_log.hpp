@@ -1,0 +1,129 @@
+#pragma once
+// ScheduleLog: engine-independent record of the *enqueued* command stream
+// (neon::analysis, docs/analysis.md). Where sys::Trace records what an
+// engine *did* (virtual timestamps), the ScheduleLog records what the host
+// *asked for*: one entry per op in enqueue order, including the event ids
+// of record/wait ops. Stream FIFO order plus record->wait edges define the
+// happens-before partial order the race detector checks conflicting
+// accesses against — the log is identical for the sequential and threaded
+// engines because it is written by the enqueuing host thread.
+//
+// Container metadata (access lists distilled to core types) is registered
+// per run window by the Skeleton so the detector can attach per-op
+// read/write sets without the sys layer depending on upper layers.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace neon::sys {
+
+enum class ScheduleOpKind : uint8_t
+{
+    Kernel,
+    Transfer,
+    HostFn,
+    Record,  ///< event record; eventId identifies the event
+    Wait,    ///< event wait; eventId identifies the awaited event
+};
+
+std::string to_string(ScheduleOpKind k);
+
+/// One enqueued op, in global enqueue order.
+struct ScheduleRecord
+{
+    uint64_t       seq = 0;
+    int            device = -1;
+    int            stream = -1;
+    ScheduleOpKind kind = ScheduleOpKind::Kernel;
+    uint64_t       eventId = 0;       ///< Record/Wait only
+    int            containerId = -1;  ///< skeleton graph-node id, -1 outside
+    int            runId = -1;        ///< skeleton run() window id, -1 outside
+};
+
+/// One access of a container distilled to core types (a mirror of
+/// set::DataAccess without the set-layer halo handle).
+struct MetaAccess
+{
+    uint64_t    uid = 0;
+    Access      access = Access::READ;
+    Compute     compute = Compute::MAP;
+    bool        scalar = false;       ///< GlobalScalar (global/partial segments)
+    bool        stencilHalo = false;  ///< stencil read of a halo-carrying field
+    std::string name;
+};
+
+enum class MetaNodeKind : uint8_t
+{
+    Compute,
+    Halo,
+    ScalarOp,
+};
+
+/// What one graph node does, as needed to derive per-device read/write
+/// segment sets (analysis/access_model.hpp).
+struct ContainerMeta
+{
+    std::string             label;
+    MetaNodeKind            kind = MetaNodeKind::Compute;
+    DataView                view = DataView::STANDARD;
+    Compute                 pattern = Compute::MAP;
+    std::vector<MetaAccess> accesses;
+    /// Halo nodes only: per sending device, the receiving neighbour devices.
+    std::vector<std::vector<int>> haloPeers;
+};
+
+/// Keyed by skeleton graph-node id (== ScheduleRecord::containerId).
+using ContainerMetaMap = std::unordered_map<int, ContainerMeta>;
+
+class ScheduleLog
+{
+   public:
+    void enable(bool on = true) { mEnabled.store(on, std::memory_order_relaxed); }
+    [[nodiscard]] bool enabled() const { return mEnabled.load(std::memory_order_relaxed); }
+
+    /// Append one record (assigns seq). Called by Stream::enqueue when
+    /// enabled; thread-safe.
+    void add(ScheduleRecord r);
+    /// Drop all records, registered metadata and consumer state (the
+    /// enabled flag is left as is).
+    void clear();
+
+    [[nodiscard]] size_t size() const;
+    [[nodiscard]] std::vector<ScheduleRecord> records() const;
+    /// Records with index >= cursor (for incremental consumers).
+    [[nodiscard]] std::vector<ScheduleRecord> recordsFrom(size_t cursor) const;
+
+    /// Associate run `runId` with the metadata of the graph that issued it.
+    /// The map is shared so repeated runs of one skeleton register the same
+    /// cached object.
+    void registerRunMeta(int runId, std::shared_ptr<const ContainerMetaMap> meta);
+    [[nodiscard]] std::shared_ptr<const ContainerMetaMap> metaForRun(int runId) const;
+
+    /// Opaque state slot for an incremental consumer (neon::analysis keeps
+    /// its vector-clock detector here so repeated drains stay linear).
+    [[nodiscard]] std::shared_ptr<void>& consumerState() { return mConsumerState; }
+
+    /// Callback invoked by Backend::sync() while the log is enabled (the
+    /// NEON_ANALYSIS env mode drains the race detector from it).
+    void setSyncCallback(std::function<void()> cb);
+    void runSyncCallback();
+
+   private:
+    mutable std::mutex          mMutex;
+    std::atomic<bool>           mEnabled{false};
+    uint64_t                    mNextSeq = 0;
+    std::vector<ScheduleRecord> mRecords;
+    std::unordered_map<int, std::shared_ptr<const ContainerMetaMap>> mMetaByRun;
+    std::shared_ptr<void>                                            mConsumerState;
+    std::function<void()>                                            mSyncCallback;
+};
+
+}  // namespace neon::sys

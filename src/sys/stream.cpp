@@ -1,5 +1,7 @@
 #include "sys/stream.hpp"
 
+#include "sys/device.hpp"
+
 namespace neon::sys {
 
 Stream::Stream(Engine& engine, Device& device, int id)
@@ -18,8 +20,11 @@ void Stream::enqueue(Op op)
     // Stamp skeleton attribution at enqueue time: the host thread that
     // enqueues is the one that set the trace context, while the threaded
     // engine may process the op on a worker thread much later.
-    if (mEngine->trace().enabled()) {
-        const TraceContext ctx = mEngine->trace().context();
+    Trace&       trace = mEngine->trace();
+    ScheduleLog& slog = mEngine->scheduleLog();
+    const bool   logging = slog.enabled();
+    if (trace.enabled() || logging) {
+        const TraceContext ctx = trace.context();
         if (ctx.containerId >= 0 || ctx.runId >= 0) {
             std::visit(
                 [&](auto& o) {
@@ -30,6 +35,36 @@ void Stream::enqueue(Op op)
                     }
                 },
                 op);
+        }
+        if (logging) {
+            ScheduleRecord r;
+            r.device = mDevice->id();
+            r.stream = mId;
+            r.containerId = ctx.containerId;
+            r.runId = ctx.runId;
+            std::visit(
+                [&](const auto& o) {
+                    using T = std::decay_t<decltype(o)>;
+                    if constexpr (std::is_same_v<T, KernelOp>) {
+                        r.kind = ScheduleOpKind::Kernel;
+                    } else if constexpr (std::is_same_v<T, TransferOp>) {
+                        r.kind = ScheduleOpKind::Transfer;
+                    } else if constexpr (std::is_same_v<T, HostFnOp>) {
+                        r.kind = ScheduleOpKind::HostFn;
+                    } else if constexpr (std::is_same_v<T, RecordOp>) {
+                        r.kind = ScheduleOpKind::Record;
+                        r.eventId = o.event->id();
+                    } else if constexpr (std::is_same_v<T, WaitOp>) {
+                        r.kind = ScheduleOpKind::Wait;
+                        r.eventId = o.event->id();
+                    }
+                    if constexpr (requires { o.attr; }) {
+                        r.containerId = o.attr.containerId;
+                        r.runId = o.attr.runId;
+                    }
+                },
+                op);
+            slog.add(r);
         }
     }
     mEngine->enqueue(*this, std::move(op));

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "sys/op.hpp"
+#include "sys/schedule_log.hpp"
 #include "sys/trace.hpp"
 
 namespace neon::sys {
@@ -79,8 +80,12 @@ class Engine
 
     [[nodiscard]] Trace& trace() { return mTrace; }
 
+    /// Enqueue-order op log consumed by neon::analysis (off by default).
+    [[nodiscard]] ScheduleLog& scheduleLog() { return mScheduleLog; }
+
    protected:
-    Trace mTrace;
+    Trace       mTrace;
+    ScheduleLog mScheduleLog;
 };
 
 }  // namespace neon::sys

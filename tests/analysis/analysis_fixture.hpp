@@ -1,0 +1,105 @@
+#pragma once
+// Shared rig for the neon::analysis tests: a small dgrid with three fields
+// and a scalar, plus one-line builders for the container shapes the lint
+// and race-detector tests seed violations into.
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "analysis/analysis.hpp"
+#include "dgrid/dfield.hpp"
+#include "patterns/blas.hpp"
+#include "skeleton/skeleton.hpp"
+
+namespace neon::analysis {
+
+struct Rig
+{
+    set::Backend              backend;
+    dgrid::DGrid              grid;
+    dgrid::DField<double>     f0;
+    dgrid::DField<double>     f1;
+    dgrid::DField<double>     f2;
+    set::GlobalScalar<double> s;
+
+    explicit Rig(set::Backend b)
+        : backend(std::move(b)),
+          grid(backend, index_3d{6, 5, 12}, Stencil::laplace7()),
+          f0(grid.newField<double>("f0", 1, 1.0)),
+          f1(grid.newField<double>("f1", 1, 0.0)),
+          f2(grid.newField<double>("f2", 1, 0.0)),
+          s(backend, "s", 0.0)
+    {
+    }
+
+    /// dst = value (pure writer).
+    set::Container fill(const std::string& name, dgrid::DField<double> dst, double value)
+    {
+        return grid.newContainer(name, [dst, value](set::Loader& l) mutable {
+            auto dp = l.load(dst, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable { dp(c) = value; };
+        });
+    }
+
+    /// dst = src (map).
+    set::Container copy(const std::string& name, dgrid::DField<double> src,
+                        dgrid::DField<double> dst)
+    {
+        return grid.newContainer(name, [src, dst](set::Loader& l) mutable {
+            auto sp = l.load(src, Access::READ);
+            auto dp = l.load(dst, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable { dp(c) = sp(c); };
+        });
+    }
+
+    /// dst = a + b (map over two inputs).
+    set::Container add(const std::string& name, dgrid::DField<double> a,
+                       dgrid::DField<double> b, dgrid::DField<double> dst)
+    {
+        return grid.newContainer(name, [a, b, dst](set::Loader& l) mutable {
+            auto ap = l.load(a, Access::READ);
+            auto bp = l.load(b, Access::READ);
+            auto dp = l.load(dst, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable { dp(c) = ap(c) + bp(c); };
+        });
+    }
+
+    /// dst = src + 0.1 * laplacian(src) (stencil).
+    set::Container stencil(const std::string& name, dgrid::DField<double> src,
+                           dgrid::DField<double> dst)
+    {
+        return grid.newContainer(name, [src, dst](set::Loader& l) mutable {
+            auto sp = l.load(src, Access::READ, Compute::STENCIL);
+            auto dp = l.load(dst, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable {
+                double acc = -6.0 * sp(c);
+                for (const auto& off : Stencil::laplace7().points()) {
+                    acc += sp.nghVal(c, off);
+                }
+                dp(c) = sp(c) + 0.1 * acc;
+            };
+        });
+    }
+};
+
+/// First node id satisfying `pred`, or -1.
+inline int findNode(const skeleton::Graph&                            g,
+                    const std::function<bool(const skeleton::GraphNode&)>& pred)
+{
+    for (int id = 0; id < g.nodeCount(); ++id) {
+        if (g.node(id).alive && pred(g.node(id))) {
+            return id;
+        }
+    }
+    return -1;
+}
+
+inline int findHaloNode(const skeleton::Graph& g)
+{
+    return findNode(g, [](const skeleton::GraphNode& n) {
+        return n.kind() == set::Container::Kind::Halo;
+    });
+}
+
+}  // namespace neon::analysis

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run clang-tidy (.clang-tidy profile) over every library source file,
+# using the compile database of an existing build directory.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. Degrades to a no-op (exit 0) when
+# clang-tidy is not installed so local environments without LLVM keep
+# working; CI installs it explicitly.
+set -u
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy.sh: clang-tidy not found; skipping (install clang-tidy to enable)"
+    exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+status=0
+for f in "$REPO_ROOT"/src/*/*.cpp; do
+    echo "== clang-tidy $f"
+    clang-tidy -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+exit $status
