@@ -1,6 +1,7 @@
 #pragma once
 // Error types and assertion helpers shared by all Neon layers.
 
+#include <cstdint>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -41,6 +42,80 @@ class InternalError : public NeonException
 {
    public:
     explicit InternalError(const std::string& what) : NeonException("internal error: " + what) {}
+};
+
+/// Structured runtime fault raised by the execution engines
+/// (docs/robustness.md): a transfer that exhausted its retry budget, a
+/// permanently lost device, an op that exceeded the virtual per-op timeout,
+/// or a host-side sync/event wait that exceeded the wall-clock timeout.
+/// Every error carries full attribution — device, stream, op kind/name and
+/// the skeleton container/run that enqueued the op — so a failure is never
+/// a bare hang or a silent wrong result.
+class RuntimeError : public NeonException
+{
+   public:
+    enum class Kind : uint8_t
+    {
+        TransferFailed,  ///< transfer failed on every attempt of the retry budget
+        DeviceLost,      ///< op targeted a permanently lost device
+        OpTimeout,       ///< op exceeded SimConfig::opTimeout (virtual seconds)
+        SyncTimeout,     ///< host wait exceeded SimConfig::hostSyncTimeout (wall)
+    };
+
+    struct Info
+    {
+        Kind        kind = Kind::DeviceLost;
+        int         device = -1;
+        int         stream = -1;
+        std::string opKind;  ///< "kernel" | "transfer" | "hostFn" | "wait" | "sync"
+        std::string opName;
+        int         containerId = -1;  ///< skeleton graph-node id, -1 outside a skeleton
+        int         runId = -1;        ///< skeleton run() window id, -1 outside
+        int         attempts = 0;      ///< TransferFailed: attempts made before giving up
+        double      timeout = 0.0;     ///< *Timeout kinds: the configured limit [s]
+        /// Filled by the Skeleton abort path: label of the graph node and
+        /// the last run whose effects are declared consistent.
+        std::string containerLabel;
+        int         lastCompletedRun = -1;
+    };
+
+    explicit RuntimeError(Info info) : NeonException(format(info)), info(std::move(info)) {}
+
+    Info info;
+
+   private:
+    static std::string format(const Info& i)
+    {
+        std::string kind;
+        switch (i.kind) {
+            case Kind::TransferFailed: kind = "transfer failed"; break;
+            case Kind::DeviceLost: kind = "device lost"; break;
+            case Kind::OpTimeout: kind = "op timeout"; break;
+            case Kind::SyncTimeout: kind = "sync timeout"; break;
+        }
+        std::string msg = "runtime fault [" + kind + "]: " + (i.opKind.empty() ? "op" : i.opKind);
+        if (!i.opName.empty()) {
+            msg += " '" + i.opName + "'";
+        }
+        msg += " on dev" + std::to_string(i.device) + "/s" + std::to_string(i.stream);
+        if (i.kind == Kind::TransferFailed) {
+            msg += " after " + std::to_string(i.attempts) + " attempt(s)";
+        }
+        if (i.timeout > 0.0) {
+            msg += " (limit " + std::to_string(i.timeout) + " s)";
+        }
+        if (i.containerId >= 0 || !i.containerLabel.empty()) {
+            msg += ", container " +
+                   (i.containerLabel.empty() ? std::to_string(i.containerId) : i.containerLabel);
+        }
+        if (i.runId >= 0) {
+            msg += ", run " + std::to_string(i.runId);
+        }
+        if (i.lastCompletedRun >= 0) {
+            msg += " (last completed run: " + std::to_string(i.lastCompletedRun) + ")";
+        }
+        return msg;
+    }
 };
 
 namespace detail {

@@ -17,6 +17,7 @@
 #include "sys/device.hpp"
 #include "sys/event.hpp"
 #include "sys/execution_report.hpp"
+#include "sys/fault.hpp"
 #include "sys/stream.hpp"
 #include "sys/trace.hpp"
 

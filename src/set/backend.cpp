@@ -194,6 +194,9 @@ Backend Backend::make(BackendSpec spec)
             std::make_unique<sys::Device>(i, impl.spec.deviceType, impl.spec.config));
     }
     impl.streams.resize(static_cast<size_t>(impl.spec.nDevices));
+    if (!impl.spec.faults.empty()) {
+        impl.engine->faults().setPlan(impl.spec.faults);
+    }
     return Backend(std::move(implPtr));
 }
 
@@ -264,6 +267,11 @@ void Backend::sync() const
     if (mImpl->engine->scheduleLog().enabled()) {
         mImpl->engine->scheduleLog().runSyncCallback();
     }
+}
+
+sys::FaultInjector& Backend::faults() const
+{
+    return mImpl->engine->faults();
 }
 
 sys::EventPtr Backend::runBarrier() const

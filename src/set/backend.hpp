@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sys/cost_model.hpp"
+#include "sys/fault.hpp"
 #include "sys/stream.hpp"
 
 namespace neon::set {
@@ -43,6 +44,16 @@ struct BackendSpec
     EngineKind      engine = EngineKind::Sequential;
     sys::SimConfig  config = sys::SimConfig::zeroCost();
     std::string     preset = "zeroCost";
+    /// Deterministic fault-injection plan installed on the engine at make()
+    /// time (docs/robustness.md). Not part of the toString() round-trip.
+    sys::FaultPlan faults;
+
+    /// Fluent setter: spec.withFaults(plan) — enables fault injection.
+    BackendSpec& withFaults(sys::FaultPlan plan)
+    {
+        faults = std::move(plan);
+        return *this;
+    }
 
     /// e.g. "SIM_GPU x4 engine=sequential preset=dgxA100". Appends
     /// " dryRun" when config.dryRun is set.
@@ -91,8 +102,12 @@ class Backend
     /// Stream `streamIdx` on device `dev`; created lazily.
     [[nodiscard]] sys::Stream& stream(int dev, int streamIdx = 0) const;
 
-    /// Block the host until every stream on every device drained.
+    /// Block the host until every stream on every device drained. Rethrows
+    /// the engine's stored RuntimeError if a fault aborted execution.
     void sync() const;
+
+    /// The engine's fault injector (install/replace a plan at runtime).
+    [[nodiscard]] sys::FaultInjector& faults() const;
 
     /// Tail barrier of the most recent Skeleton run on this backend (null
     /// before the first run). Backend-wide, not per-skeleton: successive

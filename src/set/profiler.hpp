@@ -55,6 +55,19 @@ class Profiler
     /// (Skeleton::run() stamps each window; see Skeleton::executionReport).
     [[nodiscard]] ExecutionReport report(int firstRunId, int lastRunId) const;
 
+    /// Injected fault events recorded so far (kind=="fault" trace rows:
+    /// transfer retries and stream stalls; docs/robustness.md).
+    [[nodiscard]] int faultEvents() const
+    {
+        int n = 0;
+        for (const auto& e : trace().entries()) {
+            if (e.kind == "fault") {
+                ++n;
+            }
+        }
+        return n;
+    }
+
    private:
     Backend mBackend;
 };

@@ -147,9 +147,15 @@ void applyOcc(Graph& g, Occ occ, int devCount)
                 // Only the boundary half needs fresh halo data — but both
                 // halves still need the *producers* of the halo'd field
                 // (the halo node subsumed the producer -> stencil edge when
-                // it became the field's last writer).
+                // it became the field's last writer). Parents that merely
+                // read the field (WaR into the halo node) wrote nothing the
+                // stencil consumes; carrying them over would serialize
+                // readers with the internal half for no reason.
                 g.addEdge(p, sb, k);
                 for (int q : g.dataParents(p)) {
+                    if (g.dataEdgeKind(q, p) == EdgeKind::WaR) {
+                        continue;
+                    }
                     g.addEdge(q, si, EdgeKind::RaW);
                     g.addEdge(q, sb, EdgeKind::RaW);
                 }
@@ -196,9 +202,13 @@ void applyOcc(Graph& g, Occ occ, int devCount)
                 }
                 for (int c : children) {
                     const EdgeKind k = g.dataEdgeKind(p, c);
-                    if (g.node(c).kind() == Container::Kind::Halo) {
-                        // The halo sends only boundary cells: it can start
-                        // right after the boundary half of the map.
+                    if (g.node(c).kind() == Container::Kind::Halo && k != EdgeKind::WaR) {
+                        // The halo sends only boundary cells of the field
+                        // this map *wrote*: it can start right after the
+                        // boundary half. A WaR edge means the map merely
+                        // read the field — that edge is the transitive
+                        // guard against the field's next writer, so both
+                        // halves must keep it.
                         g.addEdge(pb, c, k);
                     } else {
                         g.addEdge(pi, c, k);
@@ -227,6 +237,28 @@ void applyOcc(Graph& g, Occ occ, int devCount)
                 // View-aligned dependencies are only valid when the child
                 // iterates the same span partition as the stencil.
                 if (!sameSpanShape(g.node(sp.intId).container, cn.container)) {
+                    continue;
+                }
+                // View alignment pairs si->ci / sb->cb because the child's
+                // accesses are cell-local. That breaks down when the child
+                // *writes* a field the stencil reads through the stencil
+                // pattern: the stencil's non-local reads reach across the
+                // internal/boundary cut, so the opposite halves conflict
+                // too (WaR) and the split would leave them unordered. Keep
+                // such children whole.
+                bool writesStencilInput = false;
+                for (const auto& wa : cn.container.accesses()) {
+                    if (wa.access != Access::WRITE) {
+                        continue;
+                    }
+                    for (const auto& ra : g.node(sp.intId).container.accesses()) {
+                        if (ra.access == Access::READ && ra.compute == Compute::STENCIL &&
+                            ra.uid == wa.uid) {
+                            writesStencilInput = true;
+                        }
+                    }
+                }
+                if (writesStencilInput) {
                     continue;
                 }
                 const bool isReduce = cn.pattern() == Compute::REDUCE;
@@ -387,6 +419,30 @@ struct Skeleton::Impl
     sys::EventPtr localBarrier;
 };
 
+namespace {
+
+/// Abort path shared by run()/sync(): leave the engine drained and the
+/// trace context clean so the caller can inspect reports and re-sequence()
+/// on surviving devices, then rethrow the fault enriched with skeleton
+/// attribution (graph-node label, last consistently completed run).
+[[noreturn]] void rethrowEnriched(set::Backend& backend, const Graph& graph,
+                                  const RuntimeError& e)
+{
+    backend.engine().trace().clearContext();
+    backend.engine().quiesce();
+    RuntimeError::Info info = e.info;
+    if (info.containerId >= 0 && info.containerId < graph.nodeCount() &&
+        info.containerLabel.empty()) {
+        info.containerLabel = graph.node(info.containerId).label();
+    }
+    if (info.runId >= 0 && info.lastCompletedRun < 0) {
+        info.lastCompletedRun = info.runId - 1;
+    }
+    throw RuntimeError(std::move(info));
+}
+
+}  // namespace
+
 Skeleton::Skeleton(set::Backend backend) : mImpl(std::make_shared<Impl>())
 {
     mImpl->backend = std::move(backend);
@@ -478,6 +534,20 @@ void Skeleton::run()
         slog.registerRunMeta(runId, s.metaCache);
     }
 
+    try {
+        runBody(runId);
+    } catch (const RuntimeError& e) {
+        s.windowClosed = true;
+        rethrowEnriched(s.backend, s.graph, e);
+    }
+}
+
+void Skeleton::runBody(int runId)
+{
+    Impl&       s = *mImpl;
+    const int   nDev = s.backend.devCount();
+    sys::Trace& trace = s.backend.engine().trace();
+
     // Inter-run barrier: every stream waits for the previous run's tail
     // before dispatching new work (successive skeleton runs are dependent
     // by construction — they reuse the same fields). The barrier lives on
@@ -565,7 +635,12 @@ void Skeleton::run()
 
 void Skeleton::sync()
 {
-    mImpl->backend.sync();
+    try {
+        mImpl->backend.sync();
+    } catch (const RuntimeError& e) {
+        mImpl->windowClosed = true;
+        rethrowEnriched(mImpl->backend, mImpl->graph, e);
+    }
     mImpl->windowClosed = true;
 }
 

@@ -75,9 +75,14 @@ class Skeleton
                   Options options = {});
 
     /// Enqueue one execution of the scheduled task list (asynchronous).
+    /// Under fault injection a RuntimeError aborts the run cleanly: the
+    /// engine is quiesced, the error is rethrown enriched with the graph
+    /// node's label and the last consistently completed run, and fields
+    /// hold exactly the writes of completed runs (docs/robustness.md).
     void run();
 
-    /// Block the host until every enqueued run completed.
+    /// Block the host until every enqueued run completed. Rethrows a
+    /// pending RuntimeError with the same enrichment as run().
     void sync();
 
     // --- introspection (tests, reports, Fig. 1 timeline example) ----------
@@ -120,6 +125,8 @@ class Skeleton
     void debugUsePerSkeletonBarrier(bool on);
 
    private:
+    void runBody(int runId);
+
     struct Impl;
     std::shared_ptr<Impl> mImpl;
 };

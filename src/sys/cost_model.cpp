@@ -57,4 +57,13 @@ double transferDuration(const SimConfig& cfg, size_t bytes)
     return cfg.link.latency + static_cast<double>(bytes) / cfg.link.bandwidth;
 }
 
+double retryBackoff(const SimConfig& cfg, int attempt)
+{
+    double backoff = cfg.retry.backoffBase;
+    for (int i = 1; i < attempt; ++i) {
+        backoff *= cfg.retry.backoffFactor;
+    }
+    return backoff;
+}
+
 }  // namespace neon::sys

@@ -38,13 +38,34 @@ struct LinkCostModel
     double latency = 4e-6;     ///< seconds per transfer
 };
 
+/// Bounded-retry policy for inter-device transfers (docs/robustness.md).
+/// A transfer that fails transiently is retried after an exponential
+/// virtual-time backoff; the failed attempts and backoffs are charged to
+/// the virtual timeline so a faulted run shows a realistic schedule.
+struct RetryPolicy
+{
+    int    maxAttempts = 4;      ///< total attempts (1 initial + retries)
+    double backoffBase = 8e-6;   ///< backoff after the first failure [s]
+    double backoffFactor = 2.0;  ///< multiplier per subsequent failure
+};
+
 /// Full configuration of the simulated node.
 struct SimConfig
 {
     DeviceCostModel device;
     LinkCostModel   link;
+    RetryPolicy     retry;
     size_t          deviceMemCapacity = 40ull << 30;  ///< bytes per device
     bool            dryRun = false;  ///< account memory/time but skip execution
+    /// Per-op watchdog in *virtual* seconds: an op whose simulated span
+    /// (including injected stalls and retries) exceeds this raises a
+    /// structured RuntimeError instead of silently stretching the timeline.
+    /// 0 disables the check.
+    double opTimeout = 0.0;
+    /// Wall-clock bound on host-side waits in the threaded engine (stream
+    /// sync and event waits). A wait that exceeds it raises RuntimeError
+    /// (kind SyncTimeout) instead of deadlocking. 0 waits forever.
+    double hostSyncTimeout = 60.0;
 
     /// DGX A100-like: 8x A100 40 GB, NVLink.
     static SimConfig dgxA100Like();
@@ -67,5 +88,9 @@ double kernelDuration(const SimConfig& cfg, size_t items, const KernelCostHint& 
 
 /// Simulated duration of a single inter-device transfer of `bytes`.
 double transferDuration(const SimConfig& cfg, size_t bytes);
+
+/// Virtual-time backoff charged after the `attempt`-th failed transfer
+/// attempt (attempt >= 1): backoffBase * backoffFactor^(attempt-1).
+double retryBackoff(const SimConfig& cfg, int attempt);
 
 }  // namespace neon::sys

@@ -1,6 +1,8 @@
 #include "sys/event.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace neon::sys {
 
@@ -51,6 +53,34 @@ double Event::blockUntilRecorded() const
     std::unique_lock<std::mutex> lock(mMutex);
     mCv.wait(lock, [this] { return mRecorded; });
     return mVtime;
+}
+
+EventWaitStatus Event::waitRecorded(double timeoutSeconds, const std::atomic<bool>* cancel,
+                                    double* vtimeOut) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(std::max(timeoutSeconds, 0.0)));
+    // Wait in short slices so a cancel raised by another thread (engine
+    // abort) is observed promptly even though it cannot notify our cv.
+    constexpr auto               kSlice = std::chrono::milliseconds(2);
+    std::unique_lock<std::mutex> lock(mMutex);
+    for (;;) {
+        if (mRecorded) {
+            if (vtimeOut != nullptr) {
+                *vtimeOut = mVtime;
+            }
+            return EventWaitStatus::Recorded;
+        }
+        if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+            return EventWaitStatus::Cancelled;
+        }
+        if (timeoutSeconds > 0.0 && Clock::now() >= deadline) {
+            return EventWaitStatus::TimedOut;
+        }
+        mCv.wait_for(lock, kSlice, [this] { return mRecorded; });
+    }
 }
 
 void Event::reset()

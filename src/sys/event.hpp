@@ -8,12 +8,21 @@
 // event also has a process-unique id and remembers which (device, stream)
 // recorded it, so wait edges can be drawn in chrome://tracing.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 
 namespace neon::sys {
+
+/// Outcome of a bounded event wait (threaded engine host syncs).
+enum class EventWaitStatus : uint8_t
+{
+    Recorded,   ///< the event was recorded; the vtime out-param is valid
+    TimedOut,   ///< wall-clock timeout expired before the record
+    Cancelled,  ///< the cancel flag was raised (engine abort) while waiting
+};
 
 class Event
 {
@@ -35,8 +44,16 @@ class Event
     [[nodiscard]] int recordedStream() const;
 
     /// Block the calling thread until the event is recorded (threaded
-    /// engine). Returns the recorded virtual time.
+    /// engine). Returns the recorded virtual time. Waits unconditionally —
+    /// prefer waitRecorded(), which bounds the wait and honours an abort
+    /// flag, so a scheduler bug surfaces as an error instead of a deadlock.
     double blockUntilRecorded() const;
+
+    /// Bounded wait: returns Recorded (vtimeOut filled) once recorded,
+    /// TimedOut after `timeoutSeconds` of wall-clock time (0 = no limit),
+    /// or Cancelled as soon as `cancel` (optional) becomes true.
+    EventWaitStatus waitRecorded(double timeoutSeconds, const std::atomic<bool>* cancel,
+                                 double* vtimeOut) const;
 
     /// Return to the unrecorded state (reuse between skeleton runs on the
     /// sequential engine only; the threaded engine allocates fresh events).

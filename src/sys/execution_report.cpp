@@ -128,6 +128,11 @@ ExecutionReport ExecutionReport::fromEntries(const std::vector<sys::TraceEntry>&
             ds.waitTime += e.endV - e.startV;
             continue;
         }
+        if (e.kind == "fault") {
+            ds.faults += 1;
+            ds.faultTime += e.endV - e.startV;
+            continue;
+        }
         if (!isWork(e)) {
             continue;
         }
@@ -260,6 +265,24 @@ double ExecutionReport::totalWaitTime() const
     return total;
 }
 
+int ExecutionReport::faultEvents() const
+{
+    int total = 0;
+    for (const auto& d : mDevices) {
+        total += d.faults;
+    }
+    return total;
+}
+
+double ExecutionReport::totalFaultTime() const
+{
+    double total = 0.0;
+    for (const auto& d : mDevices) {
+        total += d.faultTime;
+    }
+    return total;
+}
+
 std::string ExecutionReport::toString() const
 {
     std::ostringstream os;
@@ -271,6 +294,10 @@ std::string ExecutionReport::toString() const
     os << "  halo bytes: " << haloBytes() << ", device utilization: " << deviceUtilization() * 100.0
        << "%, critical path: " << criticalPath() * 1e6 << " us, wait: " << totalWaitTime() * 1e6
        << " us\n";
+    if (faultEvents() > 0) {
+        os << "  faults: " << faultEvents() << " events, " << totalFaultTime() * 1e6
+           << " us lost to retries/stalls\n";
+    }
     for (const auto& d : mDevices) {
         os << "  dev" << d.device << ": compute " << d.computeBusy * 1e6 << " us, transfer "
            << d.transferBusy * 1e6 << " us, overlap " << d.overlap * 1e6 << " us, "
@@ -305,6 +332,8 @@ std::string ExecutionReport::toJson() const
     os << "  \"deviceUtilization\": " << num(deviceUtilization()) << ",\n";
     os << "  \"criticalPath\": " << num(criticalPath()) << ",\n";
     os << "  \"waitTime\": " << num(totalWaitTime()) << ",\n";
+    os << "  \"faultEvents\": " << faultEvents() << ",\n";
+    os << "  \"faultTime\": " << num(totalFaultTime()) << ",\n";
     os << "  \"devices\": [";
     for (size_t i = 0; i < mDevices.size(); ++i) {
         const auto& d = mDevices[i];
@@ -312,7 +341,8 @@ std::string ExecutionReport::toJson() const
         os << "    {\"device\": " << d.device << ", \"computeBusy\": " << num(d.computeBusy)
            << ", \"transferBusy\": " << num(d.transferBusy) << ", \"overlap\": " << num(d.overlap)
            << ", \"waitTime\": " << num(d.waitTime) << ", \"haloBytes\": " << d.haloBytes
-           << ", \"kernels\": " << d.kernels << ", \"transfers\": " << d.transfers << "}";
+           << ", \"kernels\": " << d.kernels << ", \"transfers\": " << d.transfers
+           << ", \"faults\": " << d.faults << ", \"faultTime\": " << num(d.faultTime) << "}";
     }
     os << "\n  ],\n";
     os << "  \"streams\": [";

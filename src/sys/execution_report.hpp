@@ -27,6 +27,8 @@ class ExecutionReport
         uint64_t haloBytes = 0;       ///< transfer payload in/out of this device
         int      kernels = 0;
         int      transfers = 0;
+        int      faults = 0;          ///< injected fault events (retries, stalls)
+        double   faultTime = 0.0;     ///< virtual time lost to faults [s]
     };
 
     struct StreamStats
@@ -70,6 +72,10 @@ class ExecutionReport
     /// a lower bound on the makespan any schedule could reach.
     [[nodiscard]] double criticalPath() const { return mCriticalPath; }
     [[nodiscard]] double totalWaitTime() const;
+    /// Injected fault events (transfer retries, stream stalls) in the
+    /// window, and the virtual time they consumed (docs/robustness.md).
+    [[nodiscard]] int    faultEvents() const;
+    [[nodiscard]] double totalFaultTime() const;
 
     [[nodiscard]] const std::vector<DeviceStats>&    devices() const { return mDevices; }
     [[nodiscard]] const std::vector<StreamStats>&    streams() const { return mStreams; }

@@ -1,9 +1,11 @@
 #include "sys/sequential_engine.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/error.hpp"
 #include "sys/device.hpp"
+#include "sys/transfer_plan.hpp"
 
 namespace neon::sys {
 
@@ -28,13 +30,32 @@ void SequentialEngine::detach(Stream& stream)
 
 void SequentialEngine::enqueue(Stream& stream, Op op)
 {
+    // Fail-stop: once a RuntimeError aborted the engine, further enqueues
+    // rethrow it instead of silently executing against inconsistent state.
+    if (aborted()) {
+        rethrowAbort();
+    }
+
     State&           st = stateOf(stream);
     Device&          dev = stream.device();
     const SimConfig& cfg = dev.config();
+    const bool       faulty = mFaults.active();
 
     if (auto* k = std::get_if<KernelOp>(&op)) {
-        const double start = std::max(st.vtime, dev.computeAvailable);
+        double start = std::max(st.vtime, dev.computeAvailable);
+        if (faulty) {
+            const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::Kernel,
+                                                  k->attr, "kernel", k->name);
+            if (d.stallSeconds > 0.0) {
+                mTrace.add({dev.id(), stream.id(), "fault", "stall:" + k->name, start,
+                            start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId});
+                start += d.stallSeconds;
+            }
+        }
         const double end = start + kernelDuration(cfg, k->items, k->hint);
+        if (cfg.opTimeout > 0.0 && end - st.vtime > cfg.opTimeout) {
+            throwOpTimeout(dev, stream.id(), "kernel", k->name, k->attr, cfg.opTimeout);
+        }
         st.vtime = end;
         dev.computeAvailable = end;
         if (!cfg.dryRun && k->body) {
@@ -45,49 +66,81 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
-        // The two DMA directions proceed in parallel; chunks serialize
-        // within a direction.
-        double end = st.vtime;
-        double dirEnd[2] = {0.0, 0.0};
-        bool   dirUsed[2] = {false, false};
-        for (const auto& chunk : t->chunks) {
-            const int dir = chunk.direction != 0 ? 1 : 0;
-            if (!dirUsed[dir]) {
-                dirEnd[dir] = std::max(st.vtime, dev.copyAvailable[dir]);
-                dirUsed[dir] = true;
+        double        begin = st.vtime;
+        FaultDecision d;
+        if (faulty) {
+            d = consultFaults(dev, stream.id(), ScheduleOpKind::Transfer, t->attr, "transfer",
+                              t->name);
+            if (d.stallSeconds > 0.0) {
+                mTrace.add({dev.id(), stream.id(), "fault", "stall:" + t->name, begin,
+                            begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId});
+                begin += d.stallSeconds;
             }
-            const double start = dirEnd[dir];
-            dirEnd[dir] = start + transferDuration(cfg, chunk.bytes);
+        }
+        // Failed attempts occupy the DMA engines just like real transfers,
+        // then back off exponentially in virtual time (cost model).
+        double    cursor = begin;
+        const int failed = std::min(d.failedAttempts, cfg.retry.maxAttempts);
+        for (int attempt = 1; attempt <= failed; ++attempt) {
+            const TransferSchedule bad = planTransfer(dev, cursor, *t, d.slowdown);
+            const double           backoff = retryBackoff(cfg, attempt);
+            mTrace.add({dev.id(), stream.id(), "fault",
+                        "retry#" + std::to_string(attempt) + ":" + t->name, cursor,
+                        bad.end + backoff, bad.totalBytes, t->attr.containerId, t->attr.runId});
+            cursor = bad.end + backoff;
+        }
+        if (d.failedAttempts >= cfg.retry.maxAttempts) {
+            st.vtime = cursor;
+            throwTransferExhausted(dev, stream.id(), t->name, t->attr, cfg.retry.maxAttempts);
+        }
+        const TransferSchedule plan = planTransfer(dev, cursor, *t, d.slowdown);
+        const double           end = std::max(plan.end, cursor);
+        if (cfg.opTimeout > 0.0 && end - st.vtime > cfg.opTimeout) {
+            throwOpTimeout(dev, stream.id(), "transfer", t->name, t->attr, cfg.opTimeout);
+        }
+        for (size_t i = 0; i < t->chunks.size(); ++i) {
+            const auto& chunk = t->chunks[i];
             if (!cfg.dryRun && chunk.copy) {
                 chunk.copy();
             }
-            mTrace.add({dev.id(), stream.id(), "transfer", t->name, start, dirEnd[dir],
-                        chunk.bytes, t->attr.containerId, t->attr.runId});
-        }
-        for (int dir = 0; dir < 2; ++dir) {
-            if (dirUsed[dir]) {
-                dev.copyAvailable[dir] = dirEnd[dir];
-                end = std::max(end, dirEnd[dir]);
-            }
+            mTrace.add({dev.id(), stream.id(), "transfer", t->name, plan.windows[i].start,
+                        plan.windows[i].end, chunk.bytes, t->attr.containerId, t->attr.runId});
         }
         st.vtime = end;
         return;
     }
     if (auto* h = std::get_if<HostFnOp>(&op)) {
-        const double start = st.vtime;
-        st.vtime += h->simDuration;
+        double start = st.vtime;
+        if (faulty) {
+            const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::HostFn,
+                                                  h->attr, "hostFn", h->name);
+            if (d.stallSeconds > 0.0) {
+                mTrace.add({dev.id(), stream.id(), "fault", "stall:" + h->name, start,
+                            start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId});
+                start += d.stallSeconds;
+            }
+        }
+        const double end = start + h->simDuration;
+        if (cfg.opTimeout > 0.0 && end - st.vtime > cfg.opTimeout) {
+            throwOpTimeout(dev, stream.id(), "hostFn", h->name, h->attr, cfg.opTimeout);
+        }
+        st.vtime = end;
         if (!cfg.dryRun && h->fn) {
             h->fn();
         }
-        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, st.vtime, 0,
-                    h->attr.containerId, h->attr.runId});
+        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, end, 0, h->attr.containerId,
+                    h->attr.runId});
         return;
     }
     if (auto* r = std::get_if<RecordOp>(&op)) {
+        // Records are fault-exempt: they must always fire so waiters wake.
         r->event->record(st.vtime, dev.id(), stream.id());
         return;
     }
     if (auto* w = std::get_if<WaitOp>(&op)) {
+        if (faulty) {
+            consultFaults(dev, stream.id(), ScheduleOpKind::Wait, w->attr, "wait", "wait");
+        }
         if (!w->event->recorded()) {
             throw InternalError(
                 "sequential engine: wait on an unrecorded event — the task "
@@ -106,10 +159,15 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
 
 void SequentialEngine::sync(Stream&)
 {
-    // Ops already executed eagerly: nothing to wait for.
+    // Ops already executed eagerly: nothing to wait for — but a stored
+    // abort must surface to hosts that only sync (never enqueue again).
+    rethrowAbort();
 }
 
-void SequentialEngine::syncAll() {}
+void SequentialEngine::syncAll()
+{
+    rethrowAbort();
+}
 
 double SequentialEngine::streamVtime(const Stream& stream) const
 {

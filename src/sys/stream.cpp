@@ -1,5 +1,6 @@
 #include "sys/stream.hpp"
 
+#include "core/error.hpp"
 #include "sys/device.hpp"
 
 namespace neon::sys {
@@ -23,7 +24,9 @@ void Stream::enqueue(Op op)
     Trace&       trace = mEngine->trace();
     ScheduleLog& slog = mEngine->scheduleLog();
     const bool   logging = slog.enabled();
-    if (trace.enabled() || logging) {
+    // Fault rules match on run id, so attribution must also be stamped when
+    // a plan is active even if neither trace nor schedule log is on.
+    if (trace.enabled() || logging || mEngine->faults().active()) {
         const TraceContext ctx = trace.context();
         if (ctx.containerId >= 0 || ctx.runId >= 0) {
             std::visit(
@@ -103,6 +106,112 @@ void Stream::sync()
 double Stream::vtime() const
 {
     return mEngine->streamVtime(*this);
+}
+
+// Engine: fail-stop abort protocol ------------------------------------------
+
+void Engine::raiseAbort(std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mAbortMutex);
+        if (!mAbortError) {
+            mAbortError = std::move(error);
+        }
+    }
+    mAborted.store(true, std::memory_order_release);
+}
+
+void Engine::rethrowAbort() const
+{
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(mAbortMutex);
+        error = mAbortError;
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+void Engine::clearAbort()
+{
+    {
+        std::lock_guard<std::mutex> lock(mAbortMutex);
+        mAbortError = nullptr;
+    }
+    mAborted.store(false, std::memory_order_release);
+}
+
+FaultDecision Engine::consultFaults(const Device& dev, int stream, ScheduleOpKind kind,
+                                    const OpAttribution& attr, const char* opKindName,
+                                    const std::string& opName)
+{
+    FaultDecision d = mFaults.decide(dev.id(), stream, kind, attr);
+    if (d.deviceLost) {
+        RuntimeError::Info info;
+        info.kind = RuntimeError::Kind::DeviceLost;
+        info.device = dev.id();
+        info.stream = stream;
+        info.opKind = opKindName;
+        info.opName = opName;
+        info.containerId = attr.containerId;
+        info.runId = attr.runId;
+        auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
+        raiseAbort(error);
+        std::rethrow_exception(error);
+    }
+    return d;
+}
+
+void Engine::throwOpTimeout(const Device& dev, int stream, const char* opKindName,
+                            const std::string& opName, const OpAttribution& attr, double limit)
+{
+    RuntimeError::Info info;
+    info.kind = RuntimeError::Kind::OpTimeout;
+    info.device = dev.id();
+    info.stream = stream;
+    info.opKind = opKindName;
+    info.opName = opName;
+    info.containerId = attr.containerId;
+    info.runId = attr.runId;
+    info.timeout = limit;
+    auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
+    raiseAbort(error);
+    std::rethrow_exception(error);
+}
+
+void Engine::throwTransferExhausted(const Device& dev, int stream, const std::string& opName,
+                                    const OpAttribution& attr, int attempts)
+{
+    RuntimeError::Info info;
+    info.kind = RuntimeError::Kind::TransferFailed;
+    info.device = dev.id();
+    info.stream = stream;
+    info.opKind = "transfer";
+    info.opName = opName;
+    info.containerId = attr.containerId;
+    info.runId = attr.runId;
+    info.attempts = attempts;
+    auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
+    raiseAbort(error);
+    std::rethrow_exception(error);
+}
+
+void Engine::throwSyncTimeout(int device, int stream, const char* opKindName,
+                              const std::string& opName, const OpAttribution& attr, double limit)
+{
+    RuntimeError::Info info;
+    info.kind = RuntimeError::Kind::SyncTimeout;
+    info.device = device;
+    info.stream = stream;
+    info.opKind = opKindName;
+    info.opName = opName;
+    info.containerId = attr.containerId;
+    info.runId = attr.runId;
+    info.timeout = limit;
+    auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
+    raiseAbort(error);
+    std::rethrow_exception(error);
 }
 
 }  // namespace neon::sys

@@ -3,10 +3,13 @@
 // paper §IV-A). All enqueue operations are asynchronous with respect to the
 // host; sync() blocks until the queue drains.
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "sys/fault.hpp"
 #include "sys/op.hpp"
 #include "sys/schedule_log.hpp"
 #include "sys/trace.hpp"
@@ -83,9 +86,56 @@ class Engine
     /// Enqueue-order op log consumed by neon::analysis (off by default).
     [[nodiscard]] ScheduleLog& scheduleLog() { return mScheduleLog; }
 
+    /// Deterministic fault injection (docs/robustness.md; off by default).
+    [[nodiscard]] FaultInjector& faults() { return mFaults; }
+
+    // --- fail-stop abort protocol (docs/robustness.md) --------------------
+    // The first RuntimeError raised while processing an op latches the
+    // engine into the aborted state: ops already queued drain without
+    // executing (events still record so no thread blocks), new enqueues and
+    // host syncs rethrow the stored error. Nothing hangs, nothing is
+    // silently corrupted — field state stays what completed ops wrote.
+    [[nodiscard]] bool aborted() const { return mAborted.load(std::memory_order_acquire); }
+    /// Store `error` (first caller wins) and latch the abort flag.
+    void raiseAbort(std::exception_ptr error);
+    /// Rethrow the stored abort error, if any.
+    void rethrowAbort() const;
+    /// Drain all queued work without throwing (Skeleton abort/quiesce path).
+    virtual void quiesce() {}
+    /// Release the abort latch and stored error (post-mortem recovery in
+    /// tests; a lost device stays lost until faults().setPlan()).
+    void clearAbort();
+
    protected:
-    Trace       mTrace;
-    ScheduleLog mScheduleLog;
+    /// Consult the fault injector for the op about to be processed; on
+    /// permanent device loss, latch the abort and throw the attributed
+    /// RuntimeError. `opKindName`/`opName` feed the error message.
+    FaultDecision consultFaults(const Device& dev, int stream, ScheduleOpKind kind,
+                                const OpAttribution& attr, const char* opKindName,
+                                const std::string& opName);
+    /// Latch the abort and throw an OpTimeout RuntimeError.
+    [[noreturn]] void throwOpTimeout(const Device& dev, int stream, const char* opKindName,
+                                     const std::string& opName, const OpAttribution& attr,
+                                     double limit);
+    /// Latch the abort and throw a TransferFailed RuntimeError.
+    [[noreturn]] void throwTransferExhausted(const Device& dev, int stream,
+                                             const std::string& opName, const OpAttribution& attr,
+                                             int attempts);
+    /// Latch the abort and throw a SyncTimeout RuntimeError.
+    [[noreturn]] void throwSyncTimeout(int device, int stream, const char* opKindName,
+                                       const std::string& opName, const OpAttribution& attr,
+                                       double limit);
+    /// The abort latch, exposed to bounded event waits as a cancel flag.
+    [[nodiscard]] const std::atomic<bool>* abortFlag() const { return &mAborted; }
+
+    Trace         mTrace;
+    ScheduleLog   mScheduleLog;
+    FaultInjector mFaults;
+
+   private:
+    std::atomic<bool>          mAborted{false};
+    mutable std::mutex         mAbortMutex;
+    std::exception_ptr         mAbortError;
 };
 
 }  // namespace neon::sys

@@ -1,11 +1,23 @@
 #include "sys/threaded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <vector>
 
 #include "sys/device.hpp"
+#include "sys/transfer_plan.hpp"
 
 namespace neon::sys {
+
+namespace {
+std::chrono::steady_clock::time_point wallDeadline(double seconds)
+{
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(std::max(seconds, 0.0)));
+}
+}  // namespace
 
 ThreadedEngine::State& ThreadedEngine::stateOf(const Stream& stream)
 {
@@ -27,6 +39,7 @@ void ThreadedEngine::attach(Stream& stream)
 void ThreadedEngine::detach(Stream& stream)
 {
     State& st = stateOf(stream);
+    st.cancel.store(true, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(st.mutex);
         st.stop = true;
@@ -41,6 +54,11 @@ void ThreadedEngine::detach(Stream& stream)
 
 void ThreadedEngine::enqueue(Stream& stream, Op op)
 {
+    // Fail-stop: once a RuntimeError aborted the engine, further enqueues
+    // rethrow it instead of silently queueing against inconsistent state.
+    if (aborted()) {
+        rethrowAbort();
+    }
     State& st = stateOf(stream);
     {
         std::lock_guard<std::mutex> lock(st.mutex);
@@ -66,7 +84,13 @@ void ThreadedEngine::workerLoop(Stream* stream, State* state)
             state->queue.pop_front();
             state->busy = true;
         }
-        process(*stream, *state, op);
+        try {
+            process(*stream, *state, op);
+        } catch (...) {
+            // First error wins; the engine latches aborted and the queue
+            // drains in suppressed mode so no thread stays blocked.
+            raiseAbort(std::current_exception());
+        }
         {
             std::lock_guard<std::mutex> lock(state->mutex);
             state->busy = false;
@@ -80,13 +104,43 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
     Device&          dev = stream.device();
     const SimConfig& cfg = dev.config();
 
+    // Suppressed drain after an abort: records still fire so waiters wake,
+    // waits are skipped so nothing blocks, work ops are skipped so nothing
+    // executes against inconsistent state.
+    if (aborted()) {
+        if (auto* r = std::get_if<RecordOp>(&op)) {
+            double v = 0.0;
+            {
+                std::lock_guard<std::mutex> lock(mClockMutex);
+                v = state.vtime;
+            }
+            r->event->record(v, dev.id(), stream.id());
+        }
+        return;
+    }
+
+    const bool faulty = mFaults.active();
+
     if (auto* k = std::get_if<KernelOp>(&op)) {
         double start = 0.0;
         double end = 0.0;
         {
             std::lock_guard<std::mutex> lock(mClockMutex);
-            start = std::max(state.vtime, dev.computeAvailable);
+            const double before = state.vtime;
+            start = std::max(before, dev.computeAvailable);
+            if (faulty) {
+                const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::Kernel,
+                                                      k->attr, "kernel", k->name);
+                if (d.stallSeconds > 0.0) {
+                    mTrace.add({dev.id(), stream.id(), "fault", "stall:" + k->name, start,
+                                start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId});
+                    start += d.stallSeconds;
+                }
+            }
             end = start + kernelDuration(cfg, k->items, k->hint);
+            if (cfg.opTimeout > 0.0 && end - before > cfg.opTimeout) {
+                throwOpTimeout(dev, stream.id(), "kernel", k->name, k->attr, cfg.opTimeout);
+            }
             state.vtime = end;
             dev.computeAvailable = end;
         }
@@ -98,34 +152,43 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
-        struct ChunkWindow
-        {
-            double   start;
-            double   end;
-            uint64_t bytes;
-        };
-        std::vector<ChunkWindow> windows;
-        windows.reserve(t->chunks.size());
+        TransferSchedule plan;
         {
             std::lock_guard<std::mutex> lock(mClockMutex);
-            double end = state.vtime;
-            double dirEnd[2] = {0.0, 0.0};
-            bool   dirUsed[2] = {false, false};
-            for (const auto& chunk : t->chunks) {
-                const int dir = chunk.direction != 0 ? 1 : 0;
-                if (!dirUsed[dir]) {
-                    dirEnd[dir] = std::max(state.vtime, dev.copyAvailable[dir]);
-                    dirUsed[dir] = true;
+            const double before = state.vtime;
+            double       begin = before;
+            FaultDecision d;
+            if (faulty) {
+                d = consultFaults(dev, stream.id(), ScheduleOpKind::Transfer, t->attr,
+                                  "transfer", t->name);
+                if (d.stallSeconds > 0.0) {
+                    mTrace.add({dev.id(), stream.id(), "fault", "stall:" + t->name, begin,
+                                begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId});
+                    begin += d.stallSeconds;
                 }
-                const double start = dirEnd[dir];
-                dirEnd[dir] = start + transferDuration(cfg, chunk.bytes);
-                windows.push_back({start, dirEnd[dir], chunk.bytes});
             }
-            for (int dir = 0; dir < 2; ++dir) {
-                if (dirUsed[dir]) {
-                    dev.copyAvailable[dir] = dirEnd[dir];
-                    end = std::max(end, dirEnd[dir]);
-                }
+            // Failed attempts occupy the DMA engines just like real
+            // transfers, then back off exponentially in virtual time.
+            double    cursor = begin;
+            const int failed = std::min(d.failedAttempts, cfg.retry.maxAttempts);
+            for (int attempt = 1; attempt <= failed; ++attempt) {
+                const TransferSchedule bad = planTransfer(dev, cursor, *t, d.slowdown);
+                const double           backoff = retryBackoff(cfg, attempt);
+                mTrace.add({dev.id(), stream.id(), "fault",
+                            "retry#" + std::to_string(attempt) + ":" + t->name, cursor,
+                            bad.end + backoff, bad.totalBytes, t->attr.containerId,
+                            t->attr.runId});
+                cursor = bad.end + backoff;
+            }
+            if (d.failedAttempts >= cfg.retry.maxAttempts) {
+                state.vtime = cursor;
+                throwTransferExhausted(dev, stream.id(), t->name, t->attr,
+                                       cfg.retry.maxAttempts);
+            }
+            plan = planTransfer(dev, cursor, *t, d.slowdown);
+            const double end = std::max(plan.end, cursor);
+            if (cfg.opTimeout > 0.0 && end - before > cfg.opTimeout) {
+                throwOpTimeout(dev, stream.id(), "transfer", t->name, t->attr, cfg.opTimeout);
             }
             state.vtime = end;
         }
@@ -136,23 +199,39 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                 }
             }
         }
-        for (const auto& w : windows) {
-            mTrace.add({dev.id(), stream.id(), "transfer", t->name, w.start, w.end, w.bytes,
-                        t->attr.containerId, t->attr.runId});
+        for (size_t i = 0; i < t->chunks.size(); ++i) {
+            mTrace.add({dev.id(), stream.id(), "transfer", t->name, plan.windows[i].start,
+                        plan.windows[i].end, plan.windows[i].bytes, t->attr.containerId,
+                        t->attr.runId});
         }
         return;
     }
     if (auto* h = std::get_if<HostFnOp>(&op)) {
         double start = 0.0;
+        double end = 0.0;
         {
             std::lock_guard<std::mutex> lock(mClockMutex);
-            start = state.vtime;
-            state.vtime += h->simDuration;
+            const double before = state.vtime;
+            start = before;
+            if (faulty) {
+                const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::HostFn,
+                                                      h->attr, "hostFn", h->name);
+                if (d.stallSeconds > 0.0) {
+                    mTrace.add({dev.id(), stream.id(), "fault", "stall:" + h->name, start,
+                                start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId});
+                    start += d.stallSeconds;
+                }
+            }
+            end = start + h->simDuration;
+            if (cfg.opTimeout > 0.0 && end - before > cfg.opTimeout) {
+                throwOpTimeout(dev, stream.id(), "hostFn", h->name, h->attr, cfg.opTimeout);
+            }
+            state.vtime = end;
         }
         if (!cfg.dryRun && h->fn) {
             h->fn();
         }
-        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, start + h->simDuration, 0,
+        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, end, 0,
                     h->attr.containerId, h->attr.runId});
         return;
     }
@@ -166,8 +245,29 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         return;
     }
     if (auto* w = std::get_if<WaitOp>(&op)) {
-        const double evTime = w->event->blockUntilRecorded();
-        double       before = 0.0;
+        if (faulty) {
+            consultFaults(dev, stream.id(), ScheduleOpKind::Wait, w->attr, "wait", "wait");
+        }
+        // Bounded wait: a scheduler bug (event never recorded) surfaces as
+        // a SyncTimeout RuntimeError instead of a deadlock; an engine abort
+        // or a stream detach cancels the wait promptly.
+        const double limit = cfg.hostSyncTimeout;
+        const auto   deadline = wallDeadline(limit);
+        double       evTime = 0.0;
+        for (;;) {
+            const EventWaitStatus ws = w->event->waitRecorded(0.05, abortFlag(), &evTime);
+            if (ws == EventWaitStatus::Recorded) {
+                break;
+            }
+            if (ws == EventWaitStatus::Cancelled ||
+                state.cancel.load(std::memory_order_acquire)) {
+                return;
+            }
+            if (limit > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+                throwSyncTimeout(dev.id(), stream.id(), "wait", "wait", w->attr, limit);
+            }
+        }
+        double before = 0.0;
         {
             std::lock_guard<std::mutex> lock(mClockMutex);
             before = state.vtime;
@@ -184,9 +284,28 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
 
 void ThreadedEngine::sync(Stream& stream)
 {
-    State& st = stateOf(stream);
-    std::unique_lock<std::mutex> lock(st.mutex);
-    st.cvIdle.wait(lock, [&st] { return st.queue.empty() && !st.busy; });
+    State&       st = stateOf(stream);
+    const double limit = stream.device().config().hostSyncTimeout;
+    const auto   deadline = wallDeadline(limit);
+    // Sliced wait: the workers notify cvIdle on every completed op, but an
+    // abort raised from another stream's worker cannot, so poll it too.
+    constexpr auto kSlice = std::chrono::milliseconds(2);
+    {
+        std::unique_lock<std::mutex> lock(st.mutex);
+        while (!(st.queue.empty() && !st.busy)) {
+            if (limit > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+                if (aborted()) {
+                    break;  // drain is stuck? surface the root cause below
+                }
+                lock.unlock();
+                throwSyncTimeout(stream.device().id(), stream.id(), "sync", "stream sync", {},
+                                 limit);
+            }
+            st.cvIdle.wait_for(lock, kSlice,
+                               [&st] { return st.queue.empty() && !st.busy; });
+        }
+    }
+    rethrowAbort();
 }
 
 void ThreadedEngine::syncAll()
@@ -198,6 +317,30 @@ void ThreadedEngine::syncAll()
     }
     for (Stream* s : streams) {
         sync(*s);
+    }
+    rethrowAbort();
+}
+
+void ThreadedEngine::quiesce()
+{
+    std::vector<Stream*> streams;
+    {
+        std::lock_guard<std::mutex> lock(mRegistryMutex);
+        streams.assign(mStreams.begin(), mStreams.end());
+    }
+    // Suppressed ops drain fast (waits are cancelled by the abort flag);
+    // bound the wait anyway — quiesce must never throw or hang.
+    constexpr auto kSlice = std::chrono::milliseconds(2);
+    for (Stream* s : streams) {
+        State&     st = stateOf(*s);
+        const auto deadline = wallDeadline(std::max(s->device().config().hostSyncTimeout, 1.0));
+        std::unique_lock<std::mutex> lock(st.mutex);
+        while (!(st.queue.empty() && !st.busy)) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+                break;
+            }
+            st.cvIdle.wait_for(lock, kSlice, [&st] { return st.queue.empty() && !st.busy; });
+        }
     }
 }
 

@@ -5,6 +5,7 @@
 // event placement is sufficient for correctness (a missing event shows up
 // as a data race/wrong result or a deadlock, not as silent luck).
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -32,6 +33,9 @@ class ThreadedEngine final : public Engine
 
     [[nodiscard]] bool isSequential() const override { return false; }
 
+    /// Drain every stream's queue without throwing (abort-recovery path).
+    void quiesce() override;
+
    private:
     struct State
     {
@@ -41,7 +45,8 @@ class ThreadedEngine final : public Engine
         std::condition_variable cvIdle;
         bool                    stop = false;
         bool                    busy = false;
-        double                  vtime = 0.0;  ///< guarded by engine clock mutex
+        std::atomic<bool>       cancel{false};  ///< detach in progress: give up waits
+        double                  vtime = 0.0;    ///< guarded by engine clock mutex
         std::thread             worker;
     };
     static State& stateOf(const Stream& stream);

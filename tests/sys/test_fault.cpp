@@ -1,0 +1,308 @@
+// Fault injection at the sys level: deterministic FaultInjector decisions,
+// retry timeline arithmetic, stall/degradation cost-model effects, per-op
+// and host-sync timeouts, and the fail-stop abort protocol — all
+// parameterized over both engines (docs/robustness.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/error.hpp"
+#include "set/backend.hpp"
+#include "sys/device.hpp"
+#include "sys/fault.hpp"
+
+namespace neon::set {
+
+namespace {
+
+Backend faultyBackend(int nDev, sys::SimConfig cfg, Backend::EngineKind kind,
+                      sys::FaultPlan plan)
+{
+    return Backend::make(BackendSpec::simGpu(nDev, cfg, kind).withFaults(std::move(plan)));
+}
+
+sys::TransferOp oneChunk(size_t bytes)
+{
+    sys::TransferOp op;
+    op.name = "halo";
+    op.chunks.push_back({bytes, 1, [] {}});
+    return op;
+}
+
+}  // namespace
+
+class FaultEngineTest : public ::testing::TestWithParam<Backend::EngineKind>
+{
+};
+
+TEST(FaultInjector, DecisionsAreDeterministicAcrossInstances)
+{
+    sys::FaultPlan plan(1234);
+    plan.add(sys::FaultSpec::transientTransfer(2).withProbability(0.5));
+
+    sys::FaultInjector a;
+    sys::FaultInjector b;
+    a.setPlan(plan);
+    b.setPlan(plan);
+
+    int faulted = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto da = a.decide(0, 0, sys::ScheduleOpKind::Transfer, {});
+        const auto db = b.decide(0, 0, sys::ScheduleOpKind::Transfer, {});
+        EXPECT_EQ(da.failedAttempts, db.failedAttempts) << "op " << i;
+        faulted += da.failedAttempts > 0 ? 1 : 0;
+    }
+    // p=0.5 over 200 draws: both tails are astronomically unlikely.
+    EXPECT_GT(faulted, 50);
+    EXPECT_LT(faulted, 150);
+}
+
+TEST(FaultInjector, SeedChangesDecisions)
+{
+    sys::FaultInjector a;
+    sys::FaultInjector b;
+    sys::FaultPlan     pa(1);
+    sys::FaultPlan     pb(2);
+    pa.add(sys::FaultSpec::transientTransfer(1).withProbability(0.5));
+    pb.add(sys::FaultSpec::transientTransfer(1).withProbability(0.5));
+    a.setPlan(pa);
+    b.setPlan(pb);
+    int differs = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto da = a.decide(0, 0, sys::ScheduleOpKind::Transfer, {});
+        const auto db = b.decide(0, 0, sys::ScheduleOpKind::Transfer, {});
+        differs += da.failedAttempts != db.failedAttempts ? 1 : 0;
+    }
+    EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, TargetFiltersRestrictMatches)
+{
+    sys::FaultPlan plan(7);
+    plan.add(sys::FaultSpec::streamStall(1e-3).onDevice(1).onStream(2).onOp(
+        sys::ScheduleOpKind::Kernel));
+    sys::FaultInjector inj;
+    inj.setPlan(plan);
+    EXPECT_EQ(inj.decide(0, 2, sys::ScheduleOpKind::Kernel, {}).stallSeconds, 0.0);
+    EXPECT_EQ(inj.decide(1, 0, sys::ScheduleOpKind::Kernel, {}).stallSeconds, 0.0);
+    EXPECT_EQ(inj.decide(1, 2, sys::ScheduleOpKind::Transfer, {}).stallSeconds, 0.0);
+    EXPECT_EQ(inj.decide(1, 2, sys::ScheduleOpKind::Kernel, {}).stallSeconds, 1e-3);
+}
+
+TEST_P(FaultEngineTest, TransientRetrySucceedsWithBackoffTimeline)
+{
+    const sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    sys::FaultPlan       plan(42);
+    plan.add(sys::FaultSpec::transientTransfer(2));
+    Backend b = faultyBackend(1, cfg, GetParam(), plan);
+    b.profiler().enable();
+
+    const size_t bytes = 1 << 20;
+    bool         copied = false;
+    auto         op = oneChunk(bytes);
+    op.chunks[0].copy = [&copied] { copied = true; };
+    b.stream(0).transfer(std::move(op));
+    b.sync();
+
+    // Two failed attempts occupy the DMA engine, then back off; the third
+    // attempt succeeds: 3 transfer durations + backoff(1) + backoff(2).
+    const double T = sys::transferDuration(cfg, bytes);
+    const double expected =
+        3 * T + sys::retryBackoff(cfg, 1) + sys::retryBackoff(cfg, 2);
+    EXPECT_NEAR(b.stream(0).vtime(), expected, expected * 1e-9);
+    EXPECT_TRUE(copied);
+    EXPECT_EQ(b.profiler().faultEvents(), 2);
+}
+
+TEST_P(FaultEngineTest, RetryExhaustionRaisesTransferFailed)
+{
+    const sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    sys::FaultPlan       plan(42);
+    plan.add(sys::FaultSpec::transientTransfer(100));  // >> retry.maxAttempts
+    Backend b = faultyBackend(1, cfg, GetParam(), plan);
+
+    bool copied = false;
+    try {
+        auto op = oneChunk(1 << 20);
+        op.chunks[0].copy = [&copied] { copied = true; };
+        b.stream(0).transfer(std::move(op));
+        b.sync();
+        FAIL() << "expected RuntimeError";
+    } catch (const RuntimeError& e) {
+        EXPECT_EQ(e.info.kind, RuntimeError::Kind::TransferFailed);
+        EXPECT_EQ(e.info.device, 0);
+        EXPECT_EQ(e.info.stream, 0);
+        EXPECT_EQ(e.info.attempts, cfg.retry.maxAttempts);
+        EXPECT_EQ(e.info.opName, "halo");
+    }
+    EXPECT_FALSE(copied) << "an exhausted transfer must not execute its copy";
+    // The abort is sticky: further enqueues and syncs keep reporting it.
+    EXPECT_THROW(b.stream(0).kernel("k", 1, {}, [] {}), RuntimeError);
+    EXPECT_THROW(b.sync(), RuntimeError);
+}
+
+TEST_P(FaultEngineTest, StreamStallAddsVirtualLatency)
+{
+    const sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    const double         stall = 2e-3;
+    sys::FaultPlan       plan(9);
+    plan.add(sys::FaultSpec::streamStall(stall).onOp(sys::ScheduleOpKind::Kernel));
+    Backend b = faultyBackend(1, cfg, GetParam(), plan);
+    b.profiler().enable();
+
+    b.stream(0).kernel("k", 1'000'000, {100.0, 0.0}, [] {});
+    b.sync();
+    const double kernel =
+        cfg.device.kernelLaunchOverhead + 1e6 * 100.0 / cfg.device.memBandwidth;
+    EXPECT_NEAR(b.stream(0).vtime(), stall + kernel, 1e-12);
+    EXPECT_EQ(b.profiler().faultEvents(), 1);
+}
+
+TEST_P(FaultEngineTest, LinkDegradationScalesTransferDuration)
+{
+    const sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    sys::FaultPlan       plan(9);
+    plan.add(sys::FaultSpec::linkDegrade(3.0));
+    Backend b = faultyBackend(1, cfg, GetParam(), plan);
+
+    const size_t bytes = 1 << 20;
+    b.stream(0).transfer(oneChunk(bytes));
+    b.sync();
+    EXPECT_NEAR(b.stream(0).vtime(), 3.0 * sys::transferDuration(cfg, bytes), 1e-12);
+}
+
+TEST_P(FaultEngineTest, NonMatchingPlanLeavesTimelineUntouched)
+{
+    const sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    sys::FaultPlan       plan(5);
+    plan.add(sys::FaultSpec::transientTransfer(3).onDevice(7));  // no such device
+    Backend clean = Backend::make(BackendSpec::simGpu(1, cfg, GetParam()));
+    Backend faulty = faultyBackend(1, cfg, GetParam(), plan);
+
+    for (Backend* b : {&clean, &faulty}) {
+        b->stream(0).kernel("k", 1'000'000, {100.0, 0.0}, [] {});
+        b->stream(0).transfer(oneChunk(1 << 20));
+        b->sync();
+    }
+    EXPECT_DOUBLE_EQ(clean.stream(0).vtime(), faulty.stream(0).vtime());
+}
+
+TEST_P(FaultEngineTest, DeviceLossRaisesAttributedError)
+{
+    sys::FaultPlan plan(3);
+    plan.add(sys::FaultSpec::deviceLoss(1, /*fromRun=*/-1));  // lost immediately
+    Backend b = faultyBackend(2, sys::SimConfig::dgxA100Like(), GetParam(), plan);
+
+    bool dev1Ran = false;
+    try {
+        b.stream(0).kernel("survivor", 1, {}, [] {});
+        b.stream(1).kernel("victim", 1, {}, [&dev1Ran] { dev1Ran = true; });
+        b.sync();
+        FAIL() << "expected RuntimeError";
+    } catch (const RuntimeError& e) {
+        EXPECT_EQ(e.info.kind, RuntimeError::Kind::DeviceLost);
+        EXPECT_EQ(e.info.device, 1);
+        EXPECT_EQ(e.info.opName, "victim");
+    }
+    EXPECT_FALSE(dev1Ran) << "a lost device must not execute kernel bodies";
+    EXPECT_TRUE(b.faults().deviceLost(1));
+    EXPECT_FALSE(b.faults().deviceLost(0));
+}
+
+TEST_P(FaultEngineTest, OpTimeoutRaisesStructuredError)
+{
+    sys::SimConfig cfg = sys::SimConfig::dgxA100Like();
+    cfg.opTimeout = 1e-9;  // virtual seconds: any real kernel exceeds this
+    Backend b = Backend::make(BackendSpec::simGpu(1, cfg, GetParam()));
+
+    try {
+        b.stream(0).kernel("slow", 1'000'000, {100.0, 0.0}, [] {});
+        b.sync();
+        FAIL() << "expected RuntimeError";
+    } catch (const RuntimeError& e) {
+        EXPECT_EQ(e.info.kind, RuntimeError::Kind::OpTimeout);
+        EXPECT_EQ(e.info.opName, "slow");
+        EXPECT_DOUBLE_EQ(e.info.timeout, 1e-9);
+    }
+}
+
+TEST_P(FaultEngineTest, ClearAbortAllowsReuseAfterFailure)
+{
+    sys::FaultPlan plan(3);
+    plan.add(sys::FaultSpec::deviceLoss(0, -1));
+    Backend b = faultyBackend(1, sys::SimConfig::zeroCost(), GetParam(), plan);
+
+    EXPECT_THROW(
+        {
+            b.stream(0).kernel("k", 1, {}, [] {});
+            b.sync();
+        },
+        RuntimeError);
+
+    // Recovery contract: clear the latch and install a fault-free plan; the
+    // engine is usable again.
+    b.engine().clearAbort();
+    b.faults().setPlan({});
+    bool ran = false;
+    b.stream(0).kernel("k2", 1, {}, [&ran] { ran = true; });
+    b.sync();
+    EXPECT_TRUE(ran);
+}
+
+// Regression for the latent hang: a WaitOp on an event that is never
+// recorded used to block the threaded engine's worker (and every host
+// sync) forever. It must now surface as a structured SyncTimeout.
+TEST(ThreadedEngineTimeout, NeverRecordedEventErrorsInsteadOfDeadlocking)
+{
+    sys::SimConfig cfg = sys::SimConfig::zeroCost();
+    cfg.hostSyncTimeout = 0.2;  // wall seconds, keep the test fast
+    Backend b = Backend::make(BackendSpec::simGpu(1, cfg, EngineKind::Threaded));
+
+    auto never = std::make_shared<sys::Event>();
+    b.stream(0).wait(never);
+    try {
+        b.sync();
+        FAIL() << "expected RuntimeError";
+    } catch (const RuntimeError& e) {
+        EXPECT_EQ(e.info.kind, RuntimeError::Kind::SyncTimeout);
+        EXPECT_EQ(e.info.device, 0);
+        EXPECT_EQ(e.info.stream, 0);
+        EXPECT_DOUBLE_EQ(e.info.timeout, 0.2);
+    }
+}
+
+TEST(EventWait, BoundedWaitReportsRecordedTimeoutAndCancel)
+{
+    sys::Event ev;
+    double     vt = -1.0;
+
+    // Timeout: unrecorded event, tiny limit.
+    EXPECT_EQ(ev.waitRecorded(0.02, nullptr, &vt), sys::EventWaitStatus::TimedOut);
+
+    // Cancel: flag already raised.
+    std::atomic<bool> cancel{true};
+    EXPECT_EQ(ev.waitRecorded(10.0, &cancel, &vt), sys::EventWaitStatus::Cancelled);
+
+    // Recorded: record from another thread while waiting.
+    std::thread recorder([&ev] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ev.record(1.5, 0, 0);
+    });
+    EXPECT_EQ(ev.waitRecorded(10.0, nullptr, &vt), sys::EventWaitStatus::Recorded);
+    EXPECT_DOUBLE_EQ(vt, 1.5);
+    recorder.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FaultEngineTest,
+                         ::testing::Values(Backend::EngineKind::Sequential,
+                                           Backend::EngineKind::Threaded),
+                         [](const auto& info) {
+                             return info.param == Backend::EngineKind::Sequential ? "Sequential"
+                                                                                  : "Threaded";
+                         });
+
+}  // namespace neon::set
