@@ -1,0 +1,214 @@
+// Runtime-overhead microbench (docs/performance.md): wall-clock cost of the
+// parts of the runtime the paper's figures never show —
+//   (a) ns per enqueued op on the zero-cost backend (the skeleton run loop:
+//       completion events, stream waits, launch dispatch),
+//   (b) sequence() compilation cost: full pipeline (graph -> OCC ->
+//       transitive reduction -> schedule) vs a schedule-cache replay of the
+//       same structure.
+// Emits BENCH_overhead_report.json; CI gates cached-sequence cost against
+// bench/baselines/BENCH_overhead_baseline.json and requires the cached
+// path to be >= 10x cheaper than the compile path
+// (tools/check_bench_reports.py).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/benchtool.hpp"
+#include "dgrid/dfield.hpp"
+#include "dgrid/dgrid.hpp"
+#include "patterns/blas.hpp"
+#include "skeleton/schedule_cache.hpp"
+#include "skeleton/skeleton.hpp"
+
+using namespace neon;
+
+namespace {
+
+constexpr int      kDevices = 4;
+/// Tiny domain on purpose: the functional simulation still executes every
+/// cell, so a small span keeps wall clock dominated by per-op runtime
+/// bookkeeping (events, stream waits, dispatch) rather than cell loops.
+constexpr index_3d kDim{6, 6, 16};
+constexpr int      kPipelineRounds = 6;  ///< ops = 4 * rounds
+
+using Clock = std::chrono::steady_clock;
+
+double nsBetween(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(t1 - t0).count();
+}
+
+/// The benchmark workload: rounds of map -> stencil -> dot -> scalar over
+/// rotating fields. Structure is fixed so every instance shares one
+/// schedule-cache key.
+struct Workload
+{
+    dgrid::DGrid                       grid;
+    std::vector<dgrid::DField<double>> fields;
+    set::GlobalScalar<double>          s, alpha;
+    std::vector<set::Container>        ops;
+
+    explicit Workload(const set::Backend& backend)
+        : grid(backend, kDim, Stencil::laplace7()), s(backend, "s", 0.2), alpha(backend, "a", 0.1)
+    {
+        for (int i = 0; i < 3; ++i) {
+            auto f = grid.newField<double>("f" + std::to_string(i), 1, 0.0);
+            f.forEachHost([i](const index_3d& g, int, double& v) {
+                v = 0.001 * (g.x + g.y + g.z) + 0.1 * i;
+            });
+            f.updateDev();
+            fields.push_back(std::move(f));
+        }
+        for (int r = 0; r < kPipelineRounds; ++r) {
+            auto src = fields[static_cast<size_t>(r % 3)];
+            auto dst = fields[static_cast<size_t>((r + 1) % 3)];
+            auto al = alpha;
+            ops.push_back(grid.newContainer("map" + std::to_string(r),
+                                            [src, dst, al](set::Loader& l) mutable {
+                                                auto sp = l.load(src, Access::READ);
+                                                auto dp = l.load(dst, Access::WRITE);
+                                                auto av = l.load(al, Access::READ);
+                                                return [=](const dgrid::DCell& c) mutable {
+                                                    dp(c) = 0.9 * dp(c) + av() * sp(c);
+                                                };
+                                            }));
+            auto st = fields[static_cast<size_t>((r + 2) % 3)];
+            ops.push_back(grid.newContainer("sten" + std::to_string(r),
+                                            [dst, st](set::Loader& l) mutable {
+                                                auto sp = l.load(dst, Access::READ,
+                                                                 Compute::STENCIL);
+                                                auto op = l.load(st, Access::WRITE);
+                                                return [=](const dgrid::DCell& c) mutable {
+                                                    double acc = -6.0 * sp(c);
+                                                    for (const auto& off :
+                                                         Stencil::laplace7().points()) {
+                                                        acc += sp.nghVal(c, off);
+                                                    }
+                                                    op(c) = sp(c) + 0.05 * acc;
+                                                };
+                                            }));
+            ops.push_back(patterns::dot(grid, dst, st, s, "dot" + std::to_string(r)));
+            auto sc = s;
+            ops.push_back(set::Container::scalarOp<double>(
+                "scal" + std::to_string(r), grid.backend(), {sc}, {al}, [sc, al]() mutable {
+                    al.set(0.5 * al.hostValue() +
+                           sc.hostValue() / (1.0 + std::abs(sc.hostValue())));
+                }));
+        }
+    }
+};
+
+double medianNs(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    // Pure sweep binary (no registered gbench cases): the report below is
+    // the artifact.
+    benchmark::Shutdown();
+
+    // Simulated GPUs with a zero-cost model: kernels advance virtual time
+    // instead of looping over cells on the host, so wall clock isolates the
+    // runtime's own bookkeeping.
+    set::Backend backend = set::Backend::simGpu(kDevices, sys::SimConfig::zeroCost());
+    Workload     w(backend);
+    const auto   opts = skeleton::SequenceOptions()
+                          .withName("overhead")
+                          .withOcc(Occ::STANDARD)
+                          .withMaxStreams(4);
+
+    // ---- (a) ns per enqueued op -----------------------------------------
+    skeleton::Skeleton skl(backend);
+    (void)skl.sequence(w.ops, opts);
+
+    // Count enqueued ops for one run via the trace, then measure with the
+    // trace off (the fast path under test is the unobserved one).
+    backend.profiler().enable();
+    backend.profiler().clear();
+    skl.run();
+    skl.sync();
+    const auto opsPerRun = static_cast<double>(backend.profiler().trace().size());
+    backend.profiler().clear();
+    backend.profiler().enable(false);
+
+    constexpr int kWarmupRuns = 5;
+    constexpr int kMeasuredRuns = 40;
+    for (int i = 0; i < kWarmupRuns; ++i) {
+        skl.run();
+    }
+    skl.sync();
+    const auto tRun0 = Clock::now();
+    for (int i = 0; i < kMeasuredRuns; ++i) {
+        skl.run();
+    }
+    skl.sync();
+    const double nsPerOp = nsBetween(tRun0, Clock::now()) / (kMeasuredRuns * opsPerRun);
+
+    // ---- (b) compile vs cached sequence() -------------------------------
+    constexpr int       kRepeats = 11;
+    std::vector<double> compileNs, cachedNs;
+    skeleton::ScheduleCache::instance().clear();
+    for (int i = 0; i < kRepeats; ++i) {
+        const auto t0 = Clock::now();
+        (void)skl.sequence(w.ops, skeleton::SequenceOptions(opts).withCache(false));
+        compileNs.push_back(nsBetween(t0, Clock::now()));
+    }
+    (void)skl.sequence(w.ops, opts);  // prime the cache
+    int hits = 0;
+    for (int i = 0; i < kRepeats; ++i) {
+        const auto t0 = Clock::now();
+        const auto handle = skl.sequence(w.ops, opts);
+        cachedNs.push_back(nsBetween(t0, Clock::now()));
+        hits += handle.cacheHit() ? 1 : 0;
+    }
+    const double compileMedian = medianNs(compileNs);
+    const double cachedMedian = medianNs(cachedNs);
+    const double speedup = compileMedian / cachedMedian;
+
+    benchtool::Table table;
+    table.title = "Runtime overhead (zero-cost backend, wall clock)";
+    table.header = {"metric", "value"};
+    table.rows = {
+        {"ops per run", benchtool::fmt(opsPerRun, 0)},
+        {"ns per enqueued op", benchtool::fmt(nsPerOp, 1)},
+        {"sequence() compile (us, median)", benchtool::fmt(compileMedian / 1e3, 1)},
+        {"sequence() cached (us, median)", benchtool::fmt(cachedMedian / 1e3, 1)},
+        {"compile / cached speedup", benchtool::fmt(speedup, 1)},
+        {"cache hits", benchtool::fmt(hits, 0) + "/" + benchtool::fmt(kRepeats, 0)},
+    };
+    table.print();
+
+    std::ofstream os("BENCH_overhead_report.json");
+    os << "{\n"
+       << "  \"bench\": \"overhead\",\n"
+       << "  \"devices\": " << kDevices << ",\n"
+       << "  \"ops\": " << w.ops.size() << ",\n"
+       << "  \"enqueue\": {\n"
+       << "    \"ops_per_run\": " << opsPerRun << ",\n"
+       << "    \"runs_measured\": " << kMeasuredRuns << ",\n"
+       << "    \"ns_per_op\": " << nsPerOp << "\n"
+       << "  },\n"
+       << "  \"sequence\": {\n"
+       << "    \"repeats\": " << kRepeats << ",\n"
+       << "    \"compile_ns\": " << compileMedian << ",\n"
+       << "    \"cached_ns\": " << cachedMedian << ",\n"
+       << "    \"speedup\": " << speedup << ",\n"
+       << "    \"cache_hits\": " << hits << "\n"
+       << "  }\n"
+       << "}\n";
+    std::cout << "wrote BENCH_overhead_report.json (speedup " << benchtool::fmt(speedup, 1)
+              << "x)\n";
+    return 0;
+}

@@ -76,10 +76,10 @@ int main()
 
     skeleton::Skeleton even(backend);
     skeleton::Skeleton odd(backend);
-    even.sequence({step(grid, u[0], v[0], u[1], v[1])}, "gs.even",
-                  skeleton::Options().withOcc(Occ::STANDARD));
-    odd.sequence({step(grid, u[1], v[1], u[0], v[0])}, "gs.odd",
-                 skeleton::Options().withOcc(Occ::STANDARD));
+    even.sequence({step(grid, u[0], v[0], u[1], v[1])},
+                  skeleton::SequenceOptions().withName("gs.even").withOcc(Occ::STANDARD));
+    odd.sequence({step(grid, u[1], v[1], u[0], v[0])},
+                 skeleton::SequenceOptions().withName("gs.odd").withOcc(Occ::STANDARD));
 
     const int iters = 4000;
     for (int i = 0; i < iters; ++i) {

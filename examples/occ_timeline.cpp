@@ -44,7 +44,7 @@ int main()
         });
 
         skeleton::Skeleton app(backend);
-        app.sequence({map, stencil}, "fig1", skeleton::Options().withOcc(occ));
+        app.sequence({map, stencil}, skeleton::SequenceOptions().withName("fig1").withOcc(occ));
 
         auto profiler = backend.profiler();
         profiler.enable(true);

@@ -51,7 +51,8 @@ int main()
     // 4. Hand the sequence to the Skeleton: halo updates, synchronizations
     //    and OCC optimizations are injected automatically.
     skeleton::Skeleton app(backend);
-    app.sequence({axpy, laplace, dot}, "quickstart", skeleton::Options().withOcc(Occ::STANDARD));
+    app.sequence({axpy, laplace, dot},
+                 skeleton::SequenceOptions().withName("quickstart").withOcc(Occ::STANDARD));
 
     std::cout << app.describe() << "\n";
 

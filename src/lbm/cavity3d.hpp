@@ -38,7 +38,9 @@ class CavityD3Q19
             mStep[parity].sequence(
                 {collideStream(mF[static_cast<size_t>(parity)],
                                mF[static_cast<size_t>(1 - parity)])},
-                parity == 0 ? "lbm.even" : "lbm.odd", skeleton::Options().withOcc(occ));
+                skeleton::SequenceOptions()
+                    .withName(parity == 0 ? "lbm.even" : "lbm.odd")
+                    .withOcc(occ));
         }
     }
 

@@ -97,7 +97,9 @@ class KarmanD2Q9
             mStep[parity].sequence(
                 {collideStream(mF[static_cast<size_t>(parity)],
                                mF[static_cast<size_t>(1 - parity)])},
-                parity == 0 ? "karman.even" : "karman.odd", skeleton::Options().withOcc(occ));
+                skeleton::SequenceOptions()
+                    .withName(parity == 0 ? "karman.even" : "karman.odd")
+                    .withOcc(occ));
         }
     }
 

@@ -291,11 +291,6 @@ double Backend::makespanNow() const
     return mImpl->engine->maxVtime();
 }
 
-double Backend::maxVtime() const
-{
-    return makespanNow();
-}
-
 void Backend::resetClocks() const
 {
     mImpl->engine->resetClocks();
@@ -304,11 +299,6 @@ void Backend::resetClocks() const
 sys::Trace& Backend::traceRef() const
 {
     return mImpl->engine->trace();
-}
-
-sys::Trace& Backend::trace() const
-{
-    return traceRef();
 }
 
 Profiler Backend::profiler() const

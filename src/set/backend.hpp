@@ -8,8 +8,7 @@
 // description that toString()/fromString() round-trip for bench logs — with
 // simGpu()/cpu() as one-line preset wrappers. Observability (trace, Gantt,
 // chrome-trace export, ExecutionReport aggregation) hangs off
-// backend.profiler(); the historical trace()/maxVtime() accessors remain as
-// deprecated shims.
+// backend.profiler().
 
 #include <cstdint>
 #include <memory>
@@ -128,10 +127,6 @@ class Backend
     /// Race-analysis facade: schedule-log recording plus happens-before
     /// race reports (set/analyzer.hpp, docs/analysis.md).
     [[nodiscard]] Analyzer analysis() const;
-
-    /// Virtual makespan so far (max stream vtime).
-    [[deprecated("use profiler().makespan()")]] [[nodiscard]] double maxVtime() const;
-    [[deprecated("use profiler().trace()")]] [[nodiscard]] sys::Trace& trace() const;
 
     /// Fresh unique id for a Multi-GPU data object (dependency tracking).
     static uint64_t newDataUid();

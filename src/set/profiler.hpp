@@ -59,13 +59,7 @@ class Profiler
     /// transfer retries and stream stalls; docs/robustness.md).
     [[nodiscard]] int faultEvents() const
     {
-        int n = 0;
-        for (const auto& e : trace().entries()) {
-            if (e.kind == "fault") {
-                ++n;
-            }
-        }
-        return n;
+        return static_cast<int>(trace().countKind(sys::TraceKind::Fault));
     }
 
    private:

@@ -40,6 +40,14 @@ std::string GraphNode::label() const
     return l;
 }
 
+void Graph::reserve(int nodes, int edges)
+{
+    mNodes.reserve(static_cast<size_t>(nodes));
+    mEdges.reserve(static_cast<size_t>(edges));
+    mOut.reserve(static_cast<size_t>(nodes));
+    mIn.reserve(static_cast<size_t>(nodes));
+}
+
 int Graph::addNode(set::Container container, DataView view)
 {
     GraphNode n;
@@ -47,6 +55,8 @@ int Graph::addNode(set::Container container, DataView view)
     n.container = std::move(container);
     n.view = view;
     mNodes.push_back(std::move(n));
+    mOut.emplace_back();
+    mIn.emplace_back();
     return mNodes.back().id;
 }
 
@@ -63,12 +73,35 @@ void Graph::addEdge(int from, int to, EdgeKind kind)
     } else if (hasDataEdge(from, to)) {
         return;
     }
-    mEdges.push_back({from, to, kind});
+    restoreEdge({from, to, kind});
+}
+
+void Graph::restoreEdge(const GraphEdge& edge)
+{
+    const int idx = static_cast<int>(mEdges.size());
+    mEdges.push_back(edge);
+    mOut[static_cast<size_t>(edge.from)].push_back(idx);
+    mIn[static_cast<size_t>(edge.to)].push_back(idx);
+}
+
+void Graph::rebuildAdjacency()
+{
+    for (auto& v : mOut) {
+        v.clear();
+    }
+    for (auto& v : mIn) {
+        v.clear();
+    }
+    for (size_t i = 0; i < mEdges.size(); ++i) {
+        mOut[static_cast<size_t>(mEdges[i].from)].push_back(static_cast<int>(i));
+        mIn[static_cast<size_t>(mEdges[i].to)].push_back(static_cast<int>(i));
+    }
 }
 
 void Graph::removeEdges(int from, int to)
 {
     std::erase_if(mEdges, [&](const GraphEdge& e) { return e.from == from && e.to == to; });
+    rebuildAdjacency();
 }
 
 void Graph::killNode(int id)
@@ -81,6 +114,7 @@ void Graph::killNode(int id)
     n.stream = -1;
     n.needsEvent = false;
     std::erase_if(mEdges, [&](const GraphEdge& e) { return e.from == id || e.to == id; });
+    rebuildAdjacency();
 }
 
 GraphNode& Graph::node(int id)
@@ -101,22 +135,27 @@ int Graph::aliveCount() const
 
 bool Graph::hasDataEdge(int from, int to) const
 {
-    return std::any_of(mEdges.begin(), mEdges.end(), [&](const GraphEdge& e) {
-        return e.from == from && e.to == to && e.kind != EdgeKind::Hint;
+    const auto& out = mOut[static_cast<size_t>(from)];
+    return std::any_of(out.begin(), out.end(), [&](int i) {
+        const GraphEdge& e = mEdges[static_cast<size_t>(i)];
+        return e.to == to && e.kind != EdgeKind::Hint;
     });
 }
 
 bool Graph::hasEdge(int from, int to, EdgeKind kind) const
 {
-    return std::any_of(mEdges.begin(), mEdges.end(), [&](const GraphEdge& e) {
-        return e.from == from && e.to == to && e.kind == kind;
+    const auto& out = mOut[static_cast<size_t>(from)];
+    return std::any_of(out.begin(), out.end(), [&](int i) {
+        const GraphEdge& e = mEdges[static_cast<size_t>(i)];
+        return e.to == to && e.kind == kind;
     });
 }
 
 EdgeKind Graph::dataEdgeKind(int from, int to) const
 {
-    for (const auto& e : mEdges) {
-        if (e.from == from && e.to == to && e.kind != EdgeKind::Hint) {
+    for (int i : mOut[static_cast<size_t>(from)]) {
+        const GraphEdge& e = mEdges[static_cast<size_t>(i)];
+        if (e.to == to && e.kind != EdgeKind::Hint) {
             return e.kind;
         }
     }
@@ -136,8 +175,10 @@ std::vector<int> Graph::dataChildren(int id) const
 std::vector<int> Graph::parents(int id, bool includeHints) const
 {
     std::vector<int> out;
-    for (const auto& e : mEdges) {
-        if (e.to == id && (includeHints || e.kind != EdgeKind::Hint) &&
+    out.reserve(mIn[static_cast<size_t>(id)].size());
+    for (int i : mIn[static_cast<size_t>(id)]) {
+        const GraphEdge& e = mEdges[static_cast<size_t>(i)];
+        if ((includeHints || e.kind != EdgeKind::Hint) &&
             std::find(out.begin(), out.end(), e.from) == out.end()) {
             out.push_back(e.from);
         }
@@ -148,8 +189,10 @@ std::vector<int> Graph::parents(int id, bool includeHints) const
 std::vector<int> Graph::children(int id, bool includeHints) const
 {
     std::vector<int> out;
-    for (const auto& e : mEdges) {
-        if (e.from == id && (includeHints || e.kind != EdgeKind::Hint) &&
+    out.reserve(mOut[static_cast<size_t>(id)].size());
+    for (int i : mOut[static_cast<size_t>(id)]) {
+        const GraphEdge& e = mEdges[static_cast<size_t>(i)];
+        if ((includeHints || e.kind != EdgeKind::Hint) &&
             std::find(out.begin(), out.end(), e.to) == out.end()) {
             out.push_back(e.to);
         }
@@ -252,6 +295,7 @@ void Graph::transitiveReduce()
     // stays covered after all such edges are removed (induction on
     // topological distance).
     mEdges.swap(keep);
+    rebuildAdjacency();
 }
 
 std::string Graph::toDot() const

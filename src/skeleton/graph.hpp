@@ -33,11 +33,45 @@ enum class WaitScope : uint8_t
 std::string to_string(EdgeKind k);
 std::string to_string(WaitScope s);
 
+/// One entry of the scheduler's ordered task list (paper §V-C). Lives next
+/// to the graph (rather than in skeleton.hpp) because a compiled schedule
+/// is exactly (graph, task list) — the cache recipe stores both.
+struct Task
+{
+    int nodeId = -1;
+    int stream = 0;
+    /// Parents whose completion events this task waits on (with scope).
+    struct Wait
+    {
+        int       parent = -1;
+        WaitScope scope = WaitScope::SameDev;
+    };
+    std::vector<Wait> waits;
+};
+
+/// Where a graph node came from in the sequence() input — recorded by
+/// buildGraph (and propagated through the OCC splits) so a compiled
+/// schedule can be replayed against a structurally identical container
+/// sequence without re-running the pipeline (skeleton/schedule_cache.hpp).
+struct NodeOrigin
+{
+    enum class Src : uint8_t
+    {
+        User,     ///< containers[container] itself
+        Halo,     ///< haloUpdate of containers[container].accesses()[access]
+        Combine,  ///< containers[container].combineStep()
+    };
+    Src src = Src::User;
+    int container = -1;
+    int access = -1;
+};
+
 struct GraphNode
 {
     int            id = -1;
     set::Container container;
     DataView       view = DataView::STANDARD;
+    NodeOrigin     origin;
     bool           alive = true;
     /// False for stencil nodes whose halo read is stale until a halo-update
     /// node is inserted before them (paper §V-A "coherency flag").
@@ -63,8 +97,16 @@ struct GraphEdge
 class Graph
 {
    public:
+    /// Reserve-ahead for the node/edge arenas (both are flat vectors; one
+    /// reservation avoids regrowth while buildGraph/applyOcc append).
+    void reserve(int nodes, int edges);
+
     int  addNode(set::Container container, DataView view = DataView::STANDARD);
     void addEdge(int from, int to, EdgeKind kind);
+    /// Append an already-validated edge without the dedup/alive scans —
+    /// cache-replay path only (the recipe's edge list is the final,
+    /// deduplicated edge set of a previously compiled graph).
+    void restoreEdge(const GraphEdge& edge);
     /// Remove every edge (data and hint) between `from` and `to`.
     void removeEdges(int from, int to);
     /// Mark dead and drop all its edges (used when OCC replaces a node).
@@ -102,8 +144,15 @@ class Graph
     [[nodiscard]] std::string toDot() const;
 
    private:
+    void rebuildAdjacency();
+
     std::vector<GraphNode> mNodes;
     std::vector<GraphEdge> mEdges;
+    /// Per-node edge-index lists (into mEdges), kept in sync by
+    /// addNode/addEdge and rebuilt after bulk removals: parents/children/
+    /// hasDataEdge queries scan a node's degree instead of every edge.
+    std::vector<std::vector<int>> mOut;
+    std::vector<std::vector<int>> mIn;
 };
 
 }  // namespace neon::skeleton

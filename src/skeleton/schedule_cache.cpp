@@ -1,0 +1,243 @@
+#include "skeleton/schedule_cache.hpp"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace neon::skeleton {
+
+namespace {
+
+/// FNV-1a 64 over the canonical word encoding.
+uint64_t digest(const std::vector<uint64_t>& words)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (const uint64_t w : words) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (b * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+/// Pack small fields into one word; field widths are part of the encoding
+/// version (bump kKeyVersion when they change).
+constexpr uint64_t kKeyVersion = 1;
+
+}  // namespace
+
+ScheduleKey makeScheduleKey(const std::vector<set::Container>& containers, int devCount, Occ occ,
+                            int maxStreams)
+{
+    ScheduleKey key;
+    auto&       w = key.words;
+    w.reserve(3 + containers.size() * (4 + 2 * static_cast<size_t>(devCount)));
+    w.push_back(kKeyVersion);
+    w.push_back((static_cast<uint64_t>(devCount) << 32) | (static_cast<uint64_t>(occ) << 16) |
+                static_cast<uint64_t>(maxStreams));
+    w.push_back(containers.size());
+
+    // Uids are remapped to dense first-occurrence slots: the key captures
+    // *which accesses touch the same object*, not which object it is, so a
+    // structurally identical pipeline over different fields hits.
+    std::unordered_map<uint64_t, uint64_t> uidSlot;
+    auto slotOf = [&](uint64_t uid) {
+        const auto [it, inserted] = uidSlot.try_emplace(uid, uidSlot.size());
+        return it->second;
+    };
+
+    for (const auto& c : containers) {
+        w.push_back((static_cast<uint64_t>(c.kind()) << 24) |
+                    (static_cast<uint64_t>(c.pattern()) << 16) |
+                    (static_cast<uint64_t>(c.isReduce() ? 1 : 0) << 8) |
+                    static_cast<uint64_t>(c.accesses().size() & 0xff));
+        // Per-device span shapes steer the two-way OCC transform
+        // (sameSpanShape): two pipelines that differ only in partition sizes
+        // can compile to different graphs, so the sizes are part of the key.
+        for (int d = 0; d < devCount; ++d) {
+            w.push_back((static_cast<uint64_t>(c.items(d, DataView::INTERNAL)) << 32) |
+                        static_cast<uint64_t>(c.items(d, DataView::BOUNDARY) & 0xffffffffu));
+        }
+        for (const auto& a : c.accesses()) {
+            w.push_back((slotOf(a.uid) << 8) | (static_cast<uint64_t>(a.access) << 6) |
+                        (static_cast<uint64_t>(a.compute) << 2) |
+                        (static_cast<uint64_t>(a.halo != nullptr ? 1 : 0) << 1) |
+                        static_cast<uint64_t>(a.scalar ? 1 : 0));
+        }
+    }
+    key.hash = digest(w);
+    return key;
+}
+
+ScheduleRecipe captureRecipe(const Graph& graph, const std::vector<Task>& tasks, int nStreams)
+{
+    ScheduleRecipe r;
+    r.nodes.reserve(static_cast<size_t>(graph.nodeCount()));
+    for (int id = 0; id < graph.nodeCount(); ++id) {
+        const GraphNode& n = graph.node(id);
+        NEON_CHECK(n.origin.container >= 0,
+                   "captureRecipe: node without sequence provenance (mutated graph?)");
+        NodeBlueprint bp;
+        bp.origin = n.origin;
+        bp.view = n.view;
+        bp.alive = n.alive;
+        bp.coherent = n.coherent;
+        bp.level = n.level;
+        bp.stream = n.stream;
+        bp.needsEvent = n.needsEvent;
+        r.levelCount = std::max(r.levelCount, n.level + 1);
+        r.nodes.push_back(bp);
+    }
+    r.edges = graph.edges();
+    r.tasks = tasks;
+    r.nStreams = nStreams;
+    return r;
+}
+
+Graph instantiateRecipe(const ScheduleRecipe& recipe, const std::vector<set::Container>& containers)
+{
+    Graph g;
+    g.reserve(static_cast<int>(recipe.nodes.size()), static_cast<int>(recipe.edges.size()));
+    for (const auto& bp : recipe.nodes) {
+        const auto&    src = containers.at(static_cast<size_t>(bp.origin.container));
+        set::Container c;
+        switch (bp.origin.src) {
+            case NodeOrigin::Src::User: c = src; break;
+            case NodeOrigin::Src::Halo: {
+                const auto& a = src.accesses().at(static_cast<size_t>(bp.origin.access));
+                NEON_CHECK(a.halo != nullptr, "instantiateRecipe: access lost its halo ops");
+                c = set::Container::haloUpdate(a.halo);
+                break;
+            }
+            case NodeOrigin::Src::Combine: c = src.combineStep(); break;
+        }
+        const int  id = g.addNode(std::move(c), bp.view);
+        GraphNode& n = g.node(id);
+        n.origin = bp.origin;
+        n.alive = bp.alive;
+        n.coherent = bp.coherent;
+        n.level = bp.level;
+        n.stream = bp.stream;
+        n.needsEvent = bp.needsEvent;
+    }
+    for (const auto& e : recipe.edges) {
+        g.restoreEdge(e);
+    }
+    return g;
+}
+
+struct ScheduleCache::ImplData
+{
+    struct Entry
+    {
+        ScheduleKey                           key;
+        std::shared_ptr<const ScheduleRecipe> recipe;
+    };
+    using List = std::list<Entry>;
+
+    mutable std::mutex mutex;
+    size_t             capacity = 128;
+    List               lru;  ///< front = most recently used
+    /// Hash buckets into the LRU list; equality is on the full encoding.
+    std::unordered_map<uint64_t, std::vector<List::iterator>> buckets;
+    Stats                                                     stats;
+
+    void dropFromBucket(List::iterator it)
+    {
+        auto& vec = buckets[it->key.hash];
+        std::erase_if(vec, [&](const List::iterator& x) { return x == it; });
+        if (vec.empty()) {
+            buckets.erase(it->key.hash);
+        }
+    }
+};
+
+ScheduleCache::ScheduleCache(size_t capacity) : mData(std::make_unique<ImplData>())
+{
+    mData->capacity = std::max<size_t>(1, capacity);
+}
+
+ScheduleCache::~ScheduleCache() = default;
+
+ScheduleCache& ScheduleCache::instance()
+{
+    static ScheduleCache cache;
+    return cache;
+}
+
+std::shared_ptr<const ScheduleRecipe> ScheduleCache::find(const ScheduleKey& key)
+{
+    ImplData&                   d = *mData;
+    std::lock_guard<std::mutex> lock(d.mutex);
+    if (auto bit = d.buckets.find(key.hash); bit != d.buckets.end()) {
+        for (const auto& it : bit->second) {
+            if (it->key == key) {
+                d.lru.splice(d.lru.begin(), d.lru, it);
+                ++d.stats.hits;
+                return it->recipe;
+            }
+        }
+    }
+    ++d.stats.misses;
+    return nullptr;
+}
+
+void ScheduleCache::insert(const ScheduleKey& key, std::shared_ptr<const ScheduleRecipe> recipe)
+{
+    ImplData&                   d = *mData;
+    std::lock_guard<std::mutex> lock(d.mutex);
+    if (auto bit = d.buckets.find(key.hash); bit != d.buckets.end()) {
+        for (const auto& it : bit->second) {
+            if (it->key == key) {
+                it->recipe = std::move(recipe);
+                d.lru.splice(d.lru.begin(), d.lru, it);
+                return;
+            }
+        }
+    }
+    d.lru.push_front({key, std::move(recipe)});
+    d.buckets[key.hash].push_back(d.lru.begin());
+    ++d.stats.insertions;
+    while (d.lru.size() > d.capacity) {
+        auto last = std::prev(d.lru.end());
+        d.dropFromBucket(last);
+        d.lru.erase(last);
+        ++d.stats.evictions;
+    }
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const
+{
+    const ImplData&             d = *mData;
+    std::lock_guard<std::mutex> lock(d.mutex);
+    Stats                       s = d.stats;
+    s.size = d.lru.size();
+    s.capacity = d.capacity;
+    return s;
+}
+
+void ScheduleCache::clear()
+{
+    ImplData&                   d = *mData;
+    std::lock_guard<std::mutex> lock(d.mutex);
+    d.lru.clear();
+    d.buckets.clear();
+}
+
+void ScheduleCache::setCapacity(size_t capacity)
+{
+    ImplData&                   d = *mData;
+    std::lock_guard<std::mutex> lock(d.mutex);
+    d.capacity = std::max<size_t>(1, capacity);
+    d.stats = Stats{};
+    while (d.lru.size() > d.capacity) {
+        auto last = std::prev(d.lru.end());
+        d.dropFromBucket(last);
+        d.lru.erase(last);
+    }
+}
+
+}  // namespace neon::skeleton

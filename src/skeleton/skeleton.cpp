@@ -9,7 +9,10 @@
 #include "analysis/node_meta.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
+#include "skeleton/schedule_cache.hpp"
+#include "sys/fault.hpp"
 #include "sys/schedule_log.hpp"
+#include "sys/stream.hpp"
 
 namespace neon::skeleton {
 
@@ -33,6 +36,54 @@ bool sameSpanShape(const Container& a, const Container& b)
         }
     }
     return true;
+}
+
+int levelCountOf(const Graph& g)
+{
+    int n = 0;
+    for (int id = 0; id < g.nodeCount(); ++id) {
+        if (g.node(id).alive) {
+            n = std::max(n, g.node(id).level + 1);
+        }
+    }
+    return n;
+}
+
+/// Resolve every (device, stream) the schedule uses to a raw Stream
+/// pointer once per compilation: Backend::stream() takes a mutex per call
+/// and the stream objects are stable, so the run hot loop can index a flat
+/// array instead.
+void prefetchStreams(set::Backend& backend, std::vector<sys::Stream*>& out, int nStreams)
+{
+    const int nDev = backend.devCount();
+    out.assign(static_cast<size_t>(nDev) * static_cast<size_t>(nStreams), nullptr);
+    for (int d = 0; d < nDev; ++d) {
+        for (int s = 0; s < nStreams; ++s) {
+            out[static_cast<size_t>(d * nStreams + s)] = &backend.stream(d, s);
+        }
+    }
+}
+
+std::string describeSchedule(const std::string& name, const std::string& backendStr, Occ occ,
+                             int nStreams, const Graph& graph, const std::vector<Task>& tasks)
+{
+    std::ostringstream os;
+    os << "skeleton '" << name << "' on " << backendStr << "\n";
+    os << "occ: " << to_string(occ) << ", streams: " << nStreams << "\n";
+    os << "task order:\n";
+    for (const Task& t : tasks) {
+        const GraphNode& n = graph.node(t.nodeId);
+        os << "  [s" << t.stream << "] " << n.label();
+        if (!t.waits.empty()) {
+            os << "  waits:";
+            for (const auto& w : t.waits) {
+                os << " " << graph.node(w.parent).label() << "(" << to_string(w.scope) << ")";
+            }
+        }
+        os << "\n";
+    }
+    os << "graph:\n" << graph.toDot();
+    return os.str();
 }
 
 }  // namespace
@@ -76,29 +127,36 @@ Graph buildGraph(const std::vector<set::Container>& containers, int devCount)
         }
     };
 
-    for (const auto& c : containers) {
+    for (size_t ci = 0; ci < containers.size(); ++ci) {
+        const auto& c = containers[ci];
         NEON_CHECK(c.valid(), "invalid container in sequence");
         // Insert halo-update nodes for stale stencil reads (paper §V-B:
         // "Neon adds halo update nodes to ensure the stencil operation
         // nodes operate on the latest halo data values").
         bool coherent = true;
         if (devCount > 1) {
-            for (const auto& a : c.accesses()) {
+            const auto& accesses = c.accesses();
+            for (size_t ai = 0; ai < accesses.size(); ++ai) {
+                const auto& a = accesses[ai];
                 if (a.compute == Compute::STENCIL && a.access == Access::READ &&
                     a.halo != nullptr && !haloFresh[a.uid]) {
                     coherent = false;
                     const int h = g.addNode(Container::haloUpdate(a.halo));
+                    g.node(h).origin = {NodeOrigin::Src::Halo, static_cast<int>(ci),
+                                        static_cast<int>(ai)};
                     connect(h);
                 }
             }
         }
         const int id = g.addNode(c);
         g.node(id).coherent = coherent;
+        g.node(id).origin = {NodeOrigin::Src::User, static_cast<int>(ci), -1};
         connect(id);
         if (c.isReduce()) {
             // The combine step is a first-class graph node so the scheduler
             // places the all-device synchronization it implies.
             const int cid = g.addNode(c.combineStep());
+            g.node(cid).origin = {NodeOrigin::Src::Combine, static_cast<int>(ci), -1};
             connect(cid);
         }
     }
@@ -120,7 +178,11 @@ void applyOcc(Graph& g, Occ occ, int devCount)
 
     auto splitViews = [&](int id) -> SplitPair {
         const set::Container c = g.node(id).container;
-        return {g.addNode(c, DataView::INTERNAL), g.addNode(c, DataView::BOUNDARY)};
+        const NodeOrigin     origin = g.node(id).origin;
+        const SplitPair sp{g.addNode(c, DataView::INTERNAL), g.addNode(c, DataView::BOUNDARY)};
+        g.node(sp.intId).origin = origin;
+        g.node(sp.bdrId).origin = origin;
+        return sp;
     };
 
     // ---- Standard OCC: split every halo-dependent stencil node ----------
@@ -396,27 +458,52 @@ std::vector<Task> scheduleGraph(Graph& g, int maxStreams, int* streamCountOut)
     return tasks;
 }
 
-struct Skeleton::Impl
+/// One compilation result. Skeleton::sequence() swaps in a fresh state each
+/// time (copy-on-write), so CompiledSchedule handles snapshot the state
+/// they were minted with and can detect being superseded by identity.
+struct Skeleton::ScheduleState
 {
-    set::Backend      backend;
-    std::string       appName = "app";
-    Options           options;
+    std::string       name = "app";
+    SequenceOptions   options;
     Graph             graph;
     std::vector<Task> tasks;
     int               nStreams = 1;
-    bool              defined = false;
+    int               levelCount = 0;
+    uint64_t          hash = 0;
+    bool              cacheHit = false;
+    /// Raw stream pointers, indexed [dev * nStreams + stream] (see
+    /// prefetchStreams): the run hot loop must not take the backend's
+    /// stream-map mutex per task per device.
+    std::vector<sys::Stream*> streams;
+    /// Container metadata of this graph, registered per run window with the
+    /// schedule log; built lazily on the first logged run.
+    std::shared_ptr<const sys::ContainerMetaMap> metaCache;
+};
+
+struct Skeleton::Impl
+{
+    set::Backend                   backend;
+    std::shared_ptr<ScheduleState> state;  ///< null until the first sequence()
     /// Run-id window [windowFirst, windowLast]: opened by the first run()
     /// after a sync(), extended by subsequent run()s, closed by sync().
     int  windowFirst = -1;
     int  windowLast = -1;
     bool windowClosed = true;
-    /// Container metadata of the current graph, registered per run window
-    /// with the schedule log; rebuilt lazily after (re)definition.
-    std::shared_ptr<const sys::ContainerMetaMap> metaCache;
     /// Fault injection (tests/analysis): chain runs through a skeleton-local
     /// barrier instead of the backend-wide one.
     bool          perSkeletonBarrier = false;
     sys::EventPtr localBarrier;
+};
+
+struct CompiledSchedule::Impl
+{
+    Skeleton                                 skeleton;
+    std::shared_ptr<Skeleton::ScheduleState> state;
+
+    Impl(Skeleton sk, std::shared_ptr<Skeleton::ScheduleState> st)
+        : skeleton(std::move(sk)), state(std::move(st))
+    {
+    }
 };
 
 namespace {
@@ -448,56 +535,110 @@ Skeleton::Skeleton(set::Backend backend) : mImpl(std::make_shared<Impl>())
     mImpl->backend = std::move(backend);
 }
 
-void Skeleton::sequence(std::vector<set::Container> containers, std::string name, Options options)
+CompiledSchedule Skeleton::sequence(std::vector<set::Container> containers,
+                                    SequenceOptions options)
 {
-    Impl& s = *mImpl;
+    Impl&     s = *mImpl;
+    const int nDev = s.backend.devCount();
     for (const auto& c : containers) {
         NEON_CHECK(c.valid(), "invalid container in sequence");
-        NEON_CHECK(c.devCount() == s.backend.devCount(),
+        NEON_CHECK(c.devCount() == nDev,
                    "container '" + c.name() + "' was built for " +
                        std::to_string(c.devCount()) + " device(s) but the skeleton backend has " +
-                       std::to_string(s.backend.devCount()));
+                       std::to_string(nDev));
     }
-    s.appName = std::move(name);
-    s.options = options;
-    s.graph = buildGraph(containers, s.backend.devCount());
-    applyOcc(s.graph, options.occ, s.backend.devCount());
-    s.graph.transitiveReduce();
-    s.tasks = scheduleGraph(s.graph, options.maxStreams, &s.nStreams);
-    s.defined = true;
-    s.metaCache.reset();
-    log::debug("skeleton '", s.appName, "': ", s.graph.aliveCount(), " nodes, ", s.tasks.size(),
-               " tasks, ", s.nStreams, " streams, occ=", to_string(options.occ));
+
+    auto state = std::make_shared<ScheduleState>();
+    state->name = options.name;
+    state->options = options;
+
+    const ScheduleKey key = makeScheduleKey(containers, nDev, options.occ, options.maxStreams);
+    state->hash = key.hash;
+
+    std::shared_ptr<const ScheduleRecipe> recipe;
+    if (options.cache) {
+        recipe = ScheduleCache::instance().find(key);
+    }
+    if (recipe != nullptr) {
+        // Cache hit: replay the recipe against the *new* containers —
+        // O(nodes + edges), no analysis / OCC / BFS.
+        state->graph = instantiateRecipe(*recipe, containers);
+        state->tasks = recipe->tasks;
+        state->nStreams = recipe->nStreams;
+        state->levelCount = recipe->levelCount;
+        state->cacheHit = true;
+    } else {
+        state->graph = buildGraph(containers, nDev);
+        applyOcc(state->graph, options.occ, nDev);
+        state->graph.transitiveReduce();
+        state->tasks = scheduleGraph(state->graph, options.maxStreams, &state->nStreams);
+        state->levelCount = levelCountOf(state->graph);
+        if (options.cache) {
+            ScheduleCache::instance().insert(
+                key, std::make_shared<const ScheduleRecipe>(
+                         captureRecipe(state->graph, state->tasks, state->nStreams)));
+        }
+    }
+    prefetchStreams(s.backend, state->streams, state->nStreams);
+    s.state = std::move(state);
+
+    log::debug("skeleton '", s.state->name, "': ", s.state->graph.aliveCount(), " nodes, ",
+               s.state->tasks.size(), " tasks, ", s.state->nStreams,
+               " streams, occ=", to_string(options.occ),
+               s.state->cacheHit ? ", schedule cache hit" : ", schedule cache miss");
 
     // NEON_ANALYSIS=1: lint every schedule as it is built and arm the race
     // detector over this backend's command stream (docs/analysis.md).
     if (analysis::envEnabled()) {
         analysis::installEnvHooks(s.backend);
-        analysis::reportEnvViolations("graph lint ('" + s.appName + "')", validate());
+        analysis::reportEnvViolations("graph lint ('" + s.state->name + "')", validate());
     }
+
+    CompiledSchedule handle;
+    handle.mImpl = std::make_shared<CompiledSchedule::Impl>(*this, s.state);
+    return handle;
+}
+
+CompiledSchedule Skeleton::sequence(std::vector<set::Container> containers, std::string name,
+                                    Options options)
+{
+    return sequence(std::move(containers), SequenceOptions()
+                                               .withName(std::move(name))
+                                               .withOcc(options.occ)
+                                               .withMaxStreams(options.maxStreams));
 }
 
 analysis::AnalysisReport Skeleton::validate() const
 {
     const Impl& s = *mImpl;
-    NEON_CHECK(s.defined, "Skeleton::sequence must be called before validate()");
-    return analysis::lintSchedule(s.graph, s.tasks, s.nStreams, s.backend.devCount());
+    NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before validate()");
+    return analysis::lintSchedule(s.state->graph, s.state->tasks, s.state->nStreams,
+                                  s.backend.devCount());
 }
 
 void Skeleton::debugMutateGraph(const std::function<void(Graph&)>& fn)
 {
     Impl& s = *mImpl;
-    NEON_CHECK(s.defined, "Skeleton::sequence must be called before debugMutateGraph()");
-    fn(s.graph);
-    s.tasks = scheduleGraph(s.graph, s.options.maxStreams, &s.nStreams);
-    s.metaCache.reset();
+    NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before debugMutateGraph()");
+    // Copy-on-write: outstanding CompiledSchedule handles keep the old
+    // state (and become superseded); the mutation never reaches the cache.
+    auto next = std::make_shared<ScheduleState>(*s.state);
+    fn(next->graph);
+    next->tasks = scheduleGraph(next->graph, next->options.maxStreams, &next->nStreams);
+    next->levelCount = levelCountOf(next->graph);
+    next->cacheHit = false;
+    next->metaCache.reset();
+    prefetchStreams(s.backend, next->streams, next->nStreams);
+    s.state = std::move(next);
 }
 
 void Skeleton::debugMutateTasks(const std::function<void(std::vector<Task>&)>& fn)
 {
     Impl& s = *mImpl;
-    NEON_CHECK(s.defined, "Skeleton::sequence must be called before debugMutateTasks()");
-    fn(s.tasks);
+    NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before debugMutateTasks()");
+    auto next = std::make_shared<ScheduleState>(*s.state);
+    fn(next->tasks);
+    s.state = std::move(next);
 }
 
 void Skeleton::debugUsePerSkeletonBarrier(bool on)
@@ -509,7 +650,7 @@ void Skeleton::debugUsePerSkeletonBarrier(bool on)
 void Skeleton::run()
 {
     Impl& s = *mImpl;
-    NEON_CHECK(s.defined, "Skeleton::sequence must be called before run()");
+    NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before run()");
     const int nDev = s.backend.devCount();
 
     // Open/extend the observability run window and stamp every op this run
@@ -528,25 +669,39 @@ void Skeleton::run()
     // that issued them so the race detector can attach read/write sets.
     sys::ScheduleLog& slog = s.backend.engine().scheduleLog();
     if (slog.enabled()) {
-        if (s.metaCache == nullptr) {
-            s.metaCache = analysis::metaMapFor(s.graph, nDev);
+        if (s.state->metaCache == nullptr) {
+            s.state->metaCache = analysis::metaMapFor(s.state->graph, nDev);
         }
-        slog.registerRunMeta(runId, s.metaCache);
+        slog.registerRunMeta(runId, s.state->metaCache);
     }
 
     try {
         runBody(runId);
     } catch (const RuntimeError& e) {
         s.windowClosed = true;
-        rethrowEnriched(s.backend, s.graph, e);
+        rethrowEnriched(s.backend, s.state->graph, e);
     }
 }
 
 void Skeleton::runBody(int runId)
 {
-    Impl&       s = *mImpl;
-    const int   nDev = s.backend.devCount();
-    sys::Trace& trace = s.backend.engine().trace();
+    Impl& s = *mImpl;
+    // Pin the state: a container-launched host function could in principle
+    // re-sequence() this skeleton mid-run.
+    const std::shared_ptr<ScheduleState> statePtr = s.state;
+    ScheduleState&                       st = *statePtr;
+    const int                            nDev = s.backend.devCount();
+    sys::Engine&                         engine = s.backend.engine();
+    sys::Trace&                          trace = engine.trace();
+    // Per-task trace contexts only matter while something records
+    // attribution (same condition as Stream::enqueue); setContext takes a
+    // mutex, so skip it on the fast path.
+    const bool attributing =
+        trace.enabled() || engine.scheduleLog().enabled() || engine.faults().active();
+
+    auto streamAt = [&](int d, int idx) -> sys::Stream& {
+        return *st.streams[static_cast<size_t>(d * st.nStreams + idx)];
+    };
 
     // Inter-run barrier: every stream waits for the previous run's tail
     // before dispatching new work (successive skeleton runs are dependent
@@ -557,30 +712,33 @@ void Skeleton::runBody(int runId)
             s.perSkeletonBarrier ? s.localBarrier : s.backend.runBarrier();
         prevBarrier != nullptr) {
         for (int d = 0; d < nDev; ++d) {
-            for (int st = 0; st < s.nStreams; ++st) {
-                if (d == 0 && st == 0) {
+            for (int stIdx = 0; stIdx < st.nStreams; ++stIdx) {
+                if (d == 0 && stIdx == 0) {
                     continue;  // FIFO order on the barrier's own stream
                 }
-                s.backend.stream(d, st).wait(prevBarrier);
+                streamAt(d, stIdx).wait(prevBarrier);
             }
         }
     }
 
-    // Fresh completion events per run (cheap; safe for the threaded engine).
-    std::unordered_map<int, set::EventSet> completion;
-    for (const Task& t : s.tasks) {
-        if (s.graph.node(t.nodeId).needsEvent) {
-            completion.emplace(t.nodeId, set::EventSet::make(nDev));
+    // Fresh completion events per run (cheap; safe for the threaded
+    // engine). Flat per-node table: node ids are dense.
+    std::vector<set::EventSet> completion(static_cast<size_t>(st.graph.nodeCount()));
+    for (const Task& t : st.tasks) {
+        if (st.graph.node(t.nodeId).needsEvent) {
+            completion[static_cast<size_t>(t.nodeId)] = set::EventSet::make(nDev);
         }
     }
 
-    for (const Task& t : s.tasks) {
-        const GraphNode& n = s.graph.node(t.nodeId);
-        trace.setContext({t.nodeId, runId});
+    for (const Task& t : st.tasks) {
+        const GraphNode& n = st.graph.node(t.nodeId);
+        if (attributing) {
+            trace.setContext({t.nodeId, runId});
+        }
         for (int d = 0; d < nDev; ++d) {
-            sys::Stream& stream = s.backend.stream(d, t.stream);
+            sys::Stream& stream = streamAt(d, t.stream);
             for (const auto& w : t.waits) {
-                const set::EventSet& ev = completion.at(w.parent);
+                const set::EventSet& ev = completion[static_cast<size_t>(w.parent)];
                 switch (w.scope) {
                     case WaitScope::SameDev:
                         stream.wait(ev[d]);
@@ -604,27 +762,29 @@ void Skeleton::runBody(int runId)
             }
             n.container.launch(d, stream, n.view);
             if (n.needsEvent) {
-                stream.record(completion.at(t.nodeId)[d]);
+                stream.record(completion[static_cast<size_t>(t.nodeId)][d]);
             }
         }
     }
 
     // Record the tail barrier: stream (0,0) gathers every stream's tail
     // event and publishes a single barrier the next run waits on.
-    trace.setContext({-1, runId});
-    set::EventSet tails = set::EventSet::make(nDev * s.nStreams);
+    if (attributing) {
+        trace.setContext({-1, runId});
+    }
+    set::EventSet tails = set::EventSet::make(nDev * st.nStreams);
     for (int d = 0; d < nDev; ++d) {
-        for (int st = 0; st < s.nStreams; ++st) {
-            if (d == 0 && st == 0) {
+        for (int stIdx = 0; stIdx < st.nStreams; ++stIdx) {
+            if (d == 0 && stIdx == 0) {
                 continue;
             }
-            const int slot = d * s.nStreams + st;
-            s.backend.stream(d, st).record(tails[slot]);
-            s.backend.stream(0, 0).wait(tails[slot]);
+            const int slot = d * st.nStreams + stIdx;
+            streamAt(d, stIdx).record(tails[slot]);
+            streamAt(0, 0).wait(tails[slot]);
         }
     }
     auto barrier = std::make_shared<sys::Event>();
-    s.backend.stream(0, 0).record(barrier);
+    streamAt(0, 0).record(barrier);
     if (s.perSkeletonBarrier) {
         s.localBarrier = std::move(barrier);
     } else {
@@ -639,34 +799,46 @@ void Skeleton::sync()
         mImpl->backend.sync();
     } catch (const RuntimeError& e) {
         mImpl->windowClosed = true;
-        rethrowEnriched(mImpl->backend, mImpl->graph, e);
+        static const Graph kEmpty;
+        rethrowEnriched(mImpl->backend, mImpl->state ? mImpl->state->graph : kEmpty, e);
     }
     mImpl->windowClosed = true;
 }
 
 const Graph& Skeleton::graph() const
 {
-    return mImpl->graph;
+    static const Graph kEmpty;
+    return mImpl->state ? mImpl->state->graph : kEmpty;
 }
 
 const std::vector<Task>& Skeleton::taskList() const
 {
-    return mImpl->tasks;
+    static const std::vector<Task> kEmpty;
+    return mImpl->state ? mImpl->state->tasks : kEmpty;
 }
 
 int Skeleton::streamCount() const
 {
-    return mImpl->nStreams;
+    return mImpl->state ? mImpl->state->nStreams : 1;
 }
 
 const std::string& Skeleton::name() const
 {
-    return mImpl->appName;
+    static const std::string kDefault = "app";
+    return mImpl->state ? mImpl->state->name : kDefault;
 }
 
 set::Backend& Skeleton::backend()
 {
     return mImpl->backend;
+}
+
+CompiledSchedule Skeleton::compiled() const
+{
+    NEON_CHECK(mImpl->state != nullptr, "Skeleton::sequence must be called before compiled()");
+    CompiledSchedule handle;
+    handle.mImpl = std::make_shared<CompiledSchedule::Impl>(Skeleton(*this), mImpl->state);
+    return handle;
 }
 
 std::pair<int, int> Skeleton::runWindow() const
@@ -685,31 +857,105 @@ ExecutionReport Skeleton::executionReport() const
     return ExecutionReport::fromEntries(entries, s.backend.devCount());
 }
 
-std::string Skeleton::report() const
-{
-    return describe();
-}
-
 std::string Skeleton::describe() const
 {
-    const Impl&        s = *mImpl;
-    std::ostringstream os;
-    os << "skeleton '" << s.appName << "' on " << s.backend.toString() << "\n";
-    os << "occ: " << to_string(s.options.occ) << ", streams: " << s.nStreams << "\n";
-    os << "task order:\n";
-    for (const Task& t : s.tasks) {
-        const GraphNode& n = s.graph.node(t.nodeId);
-        os << "  [s" << t.stream << "] " << n.label();
-        if (!t.waits.empty()) {
-            os << "  waits:";
-            for (const auto& w : t.waits) {
-                os << " " << s.graph.node(w.parent).label() << "(" << to_string(w.scope) << ")";
-            }
-        }
-        os << "\n";
-    }
-    os << "graph:\n" << s.graph.toDot();
-    return os.str();
+    const Impl& s = *mImpl;
+    NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before describe()");
+    const ScheduleState& st = *s.state;
+    return describeSchedule(st.name, s.backend.toString(), st.options.occ, st.nStreams, st.graph,
+                            st.tasks);
+}
+
+// --- CompiledSchedule ------------------------------------------------------
+
+bool CompiledSchedule::current() const
+{
+    return mImpl != nullptr && mImpl->skeleton.mImpl->state == mImpl->state;
+}
+
+uint64_t CompiledSchedule::structuralHash() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->hash;
+}
+
+bool CompiledSchedule::cacheHit() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->cacheHit;
+}
+
+const std::string& CompiledSchedule::name() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->name;
+}
+
+int CompiledSchedule::nodeCount() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->graph.aliveCount();
+}
+
+int CompiledSchedule::levelCount() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->levelCount;
+}
+
+int CompiledSchedule::streamCount() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->nStreams;
+}
+
+int CompiledSchedule::taskCount() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return static_cast<int>(mImpl->state->tasks.size());
+}
+
+const Graph& CompiledSchedule::graph() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->graph;
+}
+
+const std::vector<Task>& CompiledSchedule::taskList() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    return mImpl->state->tasks;
+}
+
+void CompiledSchedule::run()
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    NEON_CHECK(current(),
+               "CompiledSchedule::run: superseded by a later sequence()/mutation on the "
+               "owning skeleton");
+    mImpl->skeleton.run();
+}
+
+void CompiledSchedule::sync()
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    mImpl->skeleton.sync();
+}
+
+analysis::AnalysisReport CompiledSchedule::lint() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    const Skeleton::ScheduleState& st = *mImpl->state;
+    return analysis::lintSchedule(st.graph, st.tasks, st.nStreams,
+                                  mImpl->skeleton.mImpl->backend.devCount());
+}
+
+std::string CompiledSchedule::describe() const
+{
+    NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
+    const Skeleton::ScheduleState& st = *mImpl->state;
+    return describeSchedule(st.name, mImpl->skeleton.mImpl->backend.toString(), st.options.occ,
+                            st.nStreams, st.graph, st.tasks);
 }
 
 }  // namespace neon::skeleton

@@ -8,7 +8,14 @@
 //   3. schedules the graph onto streams and events with a greedy BFS
 //      strategy (§V-C),
 // and executes the resulting ordered task list on every run().
+//
+// sequence() memoizes the whole pipeline through a structural schedule
+// cache (skeleton/schedule_cache.hpp, docs/performance.md): re-sequencing a
+// structurally identical container list replays a stored recipe instead of
+// recompiling, and returns a CompiledSchedule handle carrying the key hash
+// and hit/miss provenance.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,9 +32,10 @@
 
 namespace neon::skeleton {
 
-/// Skeleton scheduling options, configured fluently:
+/// Legacy scheduling options for the two-argument sequence() overload.
+/// New code should pass SequenceOptions instead:
 ///
-///   Options().withOcc(Occ::STANDARD).withMaxStreams(4)
+///   skl.sequence(ops, SequenceOptions().withName("cg").withOcc(Occ::STANDARD));
 struct Options
 {
     Occ occ = Occ::NONE;
@@ -35,7 +43,6 @@ struct Options
     int maxStreams = 8;
 
     Options() = default;
-    [[deprecated("use Options().withOcc(occ)")]] explicit Options(Occ o) : occ(o) {}
 
     Options& withOcc(Occ o)
     {
@@ -50,18 +57,88 @@ struct Options
     }
 };
 
-/// One entry of the scheduler's ordered task list (paper §V-C).
-struct Task
+/// Everything sequence() takes besides the containers, configured fluently:
+///
+///   SequenceOptions().withName("jacobi").withOcc(Occ::EXTENDED).withMaxStreams(4)
+struct SequenceOptions
 {
-    int nodeId = -1;
-    int stream = 0;
-    /// Parents whose completion events this task waits on (with scope).
-    struct Wait
+    std::string name = "app";
+    Occ         occ = Occ::NONE;
+    /// Cap on concurrent streams per device (level width beyond this wraps).
+    int maxStreams = 8;
+    /// Consult/populate the process-wide schedule compilation cache. Off
+    /// forces a full recompile (benchmarking, debugging the pipeline).
+    bool cache = true;
+
+    SequenceOptions& withName(std::string n)
     {
-        int       parent = -1;
-        WaitScope scope = WaitScope::SameDev;
-    };
-    std::vector<Wait> waits;
+        name = std::move(n);
+        return *this;
+    }
+    SequenceOptions& withOcc(Occ o)
+    {
+        occ = o;
+        return *this;
+    }
+    SequenceOptions& withMaxStreams(int n)
+    {
+        NEON_CHECK(n >= 1, "SequenceOptions: maxStreams must be >= 1");
+        maxStreams = n;
+        return *this;
+    }
+    SequenceOptions& withCache(bool on)
+    {
+        cache = on;
+        return *this;
+    }
+};
+
+class Skeleton;
+
+/// Handle onto one compiled schedule: the value sequence() returns. It
+/// snapshots the (graph, task list, stream count) the compilation produced
+/// plus its cache provenance, and can re-run, lint and describe that exact
+/// schedule. A later sequence()/debugMutate* on the owning skeleton
+/// supersedes the handle: introspection and lint() keep working on the
+/// snapshot, run() refuses (the engine executes only the active schedule).
+class CompiledSchedule
+{
+   public:
+    CompiledSchedule() = default;
+
+    [[nodiscard]] bool valid() const { return mImpl != nullptr; }
+    /// Is this still the owning skeleton's active schedule?
+    [[nodiscard]] bool current() const;
+
+    // --- provenance --------------------------------------------------------
+    /// 64-bit digest of the structural cache key.
+    [[nodiscard]] uint64_t structuralHash() const;
+    /// True when the compilation was served from the schedule cache.
+    [[nodiscard]] bool cacheHit() const;
+
+    // --- schedule stats ----------------------------------------------------
+    [[nodiscard]] const std::string& name() const;
+    [[nodiscard]] int                nodeCount() const;  ///< alive graph nodes
+    [[nodiscard]] int                levelCount() const;
+    [[nodiscard]] int                streamCount() const;
+    [[nodiscard]] int                taskCount() const;
+    [[nodiscard]] const Graph&       graph() const;
+    [[nodiscard]] const std::vector<Task>& taskList() const;
+
+    /// Enqueue one execution (throws NeonException if superseded).
+    void run();
+    /// Block until every enqueued run completed (delegates to the skeleton).
+    void sync();
+
+    /// Lint this schedule snapshot (works even when superseded).
+    [[nodiscard]] analysis::AnalysisReport lint() const;
+    /// Human-readable summary of graph, schedule and task order.
+    [[nodiscard]] std::string describe() const;
+
+   private:
+    friend class Skeleton;
+    struct Impl;
+    std::shared_ptr<Impl> mImpl;
 };
 
 class Skeleton
@@ -70,9 +147,14 @@ class Skeleton
     explicit Skeleton(set::Backend backend);
 
     /// Define the application as an ordered sequence of Containers
-    /// (Listing 3). May be called again to redefine the skeleton.
-    void sequence(std::vector<set::Container> containers, std::string name = "app",
-                  Options options = {});
+    /// (Listing 3). May be called again to redefine the skeleton. Returns a
+    /// CompiledSchedule handle over the (possibly cache-replayed) schedule.
+    CompiledSchedule sequence(std::vector<set::Container> containers, SequenceOptions options = {});
+
+    /// Legacy overload (name + Options); delegates to the SequenceOptions
+    /// form. Kept source-compatible for one release.
+    CompiledSchedule sequence(std::vector<set::Container> containers, std::string name,
+                              Options options = {});
 
     /// Enqueue one execution of the scheduled task list (asynchronous).
     /// Under fault injection a RuntimeError aborts the run cleanly: the
@@ -91,10 +173,10 @@ class Skeleton
     [[nodiscard]] int                      streamCount() const;
     [[nodiscard]] const std::string&       name() const;
     [[nodiscard]] set::Backend&            backend();
+    /// Handle onto the active schedule (sequence() must have been called).
+    [[nodiscard]] CompiledSchedule compiled() const;
     /// Human-readable summary of graph, schedule and task order.
     [[nodiscard]] std::string describe() const;
-    [[deprecated("use describe() (summary) or executionReport() (metrics)")]] [[nodiscard]]
-    std::string report() const;
 
     // --- execution window observability -----------------------------------
     // Every run() opens (or extends) a run window that sync() closes; trace
@@ -116,15 +198,19 @@ class Skeleton
 
     // --- fault-injection hooks (tests/analysis; not part of the API) -------
     /// Mutate the graph (drop an edge, kill a node, ...) and reschedule, as
-    /// if the pipeline itself had produced the mutated result.
+    /// if the pipeline itself had produced the mutated result. Supersedes
+    /// outstanding CompiledSchedule handles; never touches the cache.
     void debugMutateGraph(const std::function<void(Graph&)>& fn);
-    /// Mutate the scheduled task list in place (no rescheduling).
+    /// Mutate the scheduled task list (no rescheduling). Supersedes
+    /// outstanding CompiledSchedule handles.
     void debugMutateTasks(const std::function<void(std::vector<Task>&)>& fn);
     /// Revert to the historical per-skeleton inter-run barrier (misses the
     /// cross-skeleton dependency chain; the race detector must catch it).
     void debugUsePerSkeletonBarrier(bool on);
 
    private:
+    friend class CompiledSchedule;
+    struct ScheduleState;
     void runBody(int runId);
 
     struct Impl;
@@ -134,6 +220,7 @@ class Skeleton
 // --- pipeline stages, exposed for unit testing ----------------------------
 
 /// Stage 1+2a: dependency graph with halo-update and reduce-combine nodes.
+/// Every node carries a NodeOrigin back into `containers` (cache replay).
 Graph buildGraph(const std::vector<set::Container>& containers, int devCount);
 
 /// Stage 2b: OCC transform (paper §V-B). Returns ids of nodes split.

@@ -81,7 +81,8 @@ CgResult cgSolve(const Grid&                                          grid,
     auto bbInit = patterns::norm2Sq(grid, b, bNorm, "cg.bb");
 
     skeleton::Skeleton init(backend);
-    init.sequence({applyX, initR, rsInit, bbInit}, "cg.init", skeleton::Options().withOcc(options.occ));
+    init.sequence({applyX, initR, rsInit, bbInit},
+                  skeleton::SequenceOptions().withName("cg.init").withOcc(options.occ));
     init.run();
     init.sync();
     beta.set(T{});
@@ -116,8 +117,8 @@ CgResult cgSolve(const Grid&                                          grid,
         });
 
     skeleton::Skeleton iter(backend);
-    iter.sequence({updateP, applyP, dotPAp, alphaOp, xUpdate, rUpdate, dotRR, betaOp}, "cg.iter",
-                  skeleton::Options().withOcc(options.occ));
+    iter.sequence({updateP, applyP, dotPAp, alphaOp, xUpdate, rUpdate, dotRR, betaOp},
+                  skeleton::SequenceOptions().withName("cg.iter").withOcc(options.occ));
 
     for (int it = 1; it <= options.maxIterations; ++it) {
         iter.run();

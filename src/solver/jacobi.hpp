@@ -76,8 +76,8 @@ JacobiResult jacobiSolve(const Grid&                                          gr
         });
 
     skeleton::Skeleton init(backend);
-    init.sequence({patterns::normInf(grid, b, bInf, "jacobi.bInf")}, "jacobi.init",
-                  skeleton::Options().withOcc(options.occ));
+    init.sequence({patterns::normInf(grid, b, bInf, "jacobi.bInf")},
+                  skeleton::SequenceOptions().withName("jacobi.init").withOcc(options.occ));
     init.run();
     init.sync();
     const double bScale =
@@ -86,7 +86,8 @@ JacobiResult jacobiSolve(const Grid&                                          gr
     // Note the order: the residual reduce reads Ax *before* update consumes
     // it, and update writes x which the next run's applyX reads.
     skeleton::Skeleton iter(backend);
-    iter.sequence({applyX, residual, update}, "jacobi.iter", skeleton::Options().withOcc(options.occ));
+    iter.sequence({applyX, residual, update},
+                  skeleton::SequenceOptions().withName("jacobi.iter").withOcc(options.occ));
 
     JacobiResult result;
     for (int it = 1; it <= options.maxIterations; ++it) {

@@ -47,8 +47,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
             const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::Kernel,
                                                   k->attr, "kernel", k->name);
             if (d.stallSeconds > 0.0) {
-                mTrace.add({dev.id(), stream.id(), "fault", "stall:" + k->name, start,
-                            start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId});
+                mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + k->name, start,
+                            start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId);
                 start += d.stallSeconds;
             }
         }
@@ -61,8 +61,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         if (!cfg.dryRun && k->body) {
             k->body();
         }
-        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end, 0,
-                    k->attr.containerId, k->attr.runId});
+        mTrace.record(dev.id(), stream.id(), TraceKind::Kernel, k->name, start, end, 0,
+                    k->attr.containerId, k->attr.runId);
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
@@ -72,8 +72,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
             d = consultFaults(dev, stream.id(), ScheduleOpKind::Transfer, t->attr, "transfer",
                               t->name);
             if (d.stallSeconds > 0.0) {
-                mTrace.add({dev.id(), stream.id(), "fault", "stall:" + t->name, begin,
-                            begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId});
+                mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + t->name, begin,
+                            begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId);
                 begin += d.stallSeconds;
             }
         }
@@ -84,9 +84,9 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         for (int attempt = 1; attempt <= failed; ++attempt) {
             const TransferSchedule bad = planTransfer(dev, cursor, *t, d.slowdown);
             const double           backoff = retryBackoff(cfg, attempt);
-            mTrace.add({dev.id(), stream.id(), "fault",
+            mTrace.record(dev.id(), stream.id(), TraceKind::Fault,
                         "retry#" + std::to_string(attempt) + ":" + t->name, cursor,
-                        bad.end + backoff, bad.totalBytes, t->attr.containerId, t->attr.runId});
+                        bad.end + backoff, bad.totalBytes, t->attr.containerId, t->attr.runId);
             cursor = bad.end + backoff;
         }
         if (d.failedAttempts >= cfg.retry.maxAttempts) {
@@ -103,8 +103,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
             if (!cfg.dryRun && chunk.copy) {
                 chunk.copy();
             }
-            mTrace.add({dev.id(), stream.id(), "transfer", t->name, plan.windows[i].start,
-                        plan.windows[i].end, chunk.bytes, t->attr.containerId, t->attr.runId});
+            mTrace.record(dev.id(), stream.id(), TraceKind::Transfer, t->name, plan.windows[i].start,
+                        plan.windows[i].end, chunk.bytes, t->attr.containerId, t->attr.runId);
         }
         st.vtime = end;
         return;
@@ -115,8 +115,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
             const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::HostFn,
                                                   h->attr, "hostFn", h->name);
             if (d.stallSeconds > 0.0) {
-                mTrace.add({dev.id(), stream.id(), "fault", "stall:" + h->name, start,
-                            start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId});
+                mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + h->name, start,
+                            start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId);
                 start += d.stallSeconds;
             }
         }
@@ -128,8 +128,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         if (!cfg.dryRun && h->fn) {
             h->fn();
         }
-        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, end, 0, h->attr.containerId,
-                    h->attr.runId});
+        mTrace.record(dev.id(), stream.id(), TraceKind::HostFn, h->name, start, end, 0, h->attr.containerId,
+                    h->attr.runId);
         return;
     }
     if (auto* r = std::get_if<RecordOp>(&op)) {
@@ -148,9 +148,9 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         }
         const double evTime = w->event->vtime();
         if (evTime > st.vtime && mTrace.enabled()) {
-            mTrace.add({dev.id(), stream.id(), "wait", "wait", st.vtime, evTime, 0,
+            mTrace.record(dev.id(), stream.id(), TraceKind::Wait, "wait", st.vtime, evTime, 0,
                         w->attr.containerId, w->attr.runId, w->event->id(),
-                        w->event->recordedDevice(), w->event->recordedStream()});
+                        w->event->recordedDevice(), w->event->recordedStream());
         }
         st.vtime = std::max(st.vtime, evTime);
         return;

@@ -132,8 +132,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                 const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::Kernel,
                                                       k->attr, "kernel", k->name);
                 if (d.stallSeconds > 0.0) {
-                    mTrace.add({dev.id(), stream.id(), "fault", "stall:" + k->name, start,
-                                start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId});
+                    mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + k->name, start,
+                                start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId);
                     start += d.stallSeconds;
                 }
             }
@@ -147,8 +147,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         if (!cfg.dryRun && k->body) {
             k->body();
         }
-        mTrace.add({dev.id(), stream.id(), "kernel", k->name, start, end, 0,
-                    k->attr.containerId, k->attr.runId});
+        mTrace.record(dev.id(), stream.id(), TraceKind::Kernel, k->name, start, end, 0,
+                    k->attr.containerId, k->attr.runId);
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
@@ -162,8 +162,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                 d = consultFaults(dev, stream.id(), ScheduleOpKind::Transfer, t->attr,
                                   "transfer", t->name);
                 if (d.stallSeconds > 0.0) {
-                    mTrace.add({dev.id(), stream.id(), "fault", "stall:" + t->name, begin,
-                                begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId});
+                    mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + t->name, begin,
+                                begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId);
                     begin += d.stallSeconds;
                 }
             }
@@ -174,10 +174,10 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             for (int attempt = 1; attempt <= failed; ++attempt) {
                 const TransferSchedule bad = planTransfer(dev, cursor, *t, d.slowdown);
                 const double           backoff = retryBackoff(cfg, attempt);
-                mTrace.add({dev.id(), stream.id(), "fault",
+                mTrace.record(dev.id(), stream.id(), TraceKind::Fault,
                             "retry#" + std::to_string(attempt) + ":" + t->name, cursor,
                             bad.end + backoff, bad.totalBytes, t->attr.containerId,
-                            t->attr.runId});
+                            t->attr.runId);
                 cursor = bad.end + backoff;
             }
             if (d.failedAttempts >= cfg.retry.maxAttempts) {
@@ -200,9 +200,9 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             }
         }
         for (size_t i = 0; i < t->chunks.size(); ++i) {
-            mTrace.add({dev.id(), stream.id(), "transfer", t->name, plan.windows[i].start,
+            mTrace.record(dev.id(), stream.id(), TraceKind::Transfer, t->name, plan.windows[i].start,
                         plan.windows[i].end, plan.windows[i].bytes, t->attr.containerId,
-                        t->attr.runId});
+                        t->attr.runId);
         }
         return;
     }
@@ -217,8 +217,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                 const FaultDecision d = consultFaults(dev, stream.id(), ScheduleOpKind::HostFn,
                                                       h->attr, "hostFn", h->name);
                 if (d.stallSeconds > 0.0) {
-                    mTrace.add({dev.id(), stream.id(), "fault", "stall:" + h->name, start,
-                                start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId});
+                    mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + h->name, start,
+                                start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId);
                     start += d.stallSeconds;
                 }
             }
@@ -231,8 +231,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         if (!cfg.dryRun && h->fn) {
             h->fn();
         }
-        mTrace.add({dev.id(), stream.id(), "hostFn", h->name, start, end, 0,
-                    h->attr.containerId, h->attr.runId});
+        mTrace.record(dev.id(), stream.id(), TraceKind::HostFn, h->name, start, end, 0,
+                    h->attr.containerId, h->attr.runId);
         return;
     }
     if (auto* r = std::get_if<RecordOp>(&op)) {
@@ -274,9 +274,9 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             state.vtime = std::max(state.vtime, evTime);
         }
         if (evTime > before && mTrace.enabled()) {
-            mTrace.add({dev.id(), stream.id(), "wait", "wait", before, evTime, 0,
+            mTrace.record(dev.id(), stream.id(), TraceKind::Wait, "wait", before, evTime, 0,
                         w->attr.containerId, w->attr.runId, w->event->id(),
-                        w->event->recordedDevice(), w->event->recordedStream()});
+                        w->event->recordedDevice(), w->event->recordedStream());
         }
         return;
     }

@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "core/error.hpp"
+
 namespace neon::sys {
 
 namespace {
@@ -46,41 +48,179 @@ std::string usFmt(double seconds)
     return os.str();
 }
 
+TraceKind kindFromString(const std::string& kind)
+{
+    if (kind == "kernel") {
+        return TraceKind::Kernel;
+    }
+    if (kind == "transfer") {
+        return TraceKind::Transfer;
+    }
+    if (kind == "hostFn") {
+        return TraceKind::HostFn;
+    }
+    if (kind == "wait") {
+        return TraceKind::Wait;
+    }
+    if (kind == "fault") {
+        return TraceKind::Fault;
+    }
+    throw NeonException("Trace::add: unknown kind string '" + kind + "'");
+}
+
+constexpr size_t kReserveChunk = 1024;
+
 }  // namespace
+
+const std::string& to_string(TraceKind k)
+{
+    static const std::string kNames[] = {"kernel", "transfer", "hostFn", "wait", "fault"};
+    return kNames[static_cast<size_t>(k)];
+}
+
+void Trace::Store::reserveMore(size_t extra)
+{
+    const size_t want = size() + extra;
+    if (device.capacity() >= want) {
+        return;
+    }
+    const size_t cap = std::max(want, size() + kReserveChunk);
+    device.reserve(cap);
+    stream.reserve(cap);
+    kind.reserve(cap);
+    nameId.reserve(cap);
+    startV.reserve(cap);
+    endV.reserve(cap);
+    bytes.reserve(cap);
+    containerId.reserve(cap);
+    runId.reserve(cap);
+    waitEventId.reserve(cap);
+    srcDevice.reserve(cap);
+    srcStream.reserve(cap);
+}
+
+void Trace::Store::clear()
+{
+    device.clear();
+    stream.clear();
+    kind.clear();
+    nameId.clear();
+    startV.clear();
+    endV.clear();
+    bytes.clear();
+    containerId.clear();
+    runId.clear();
+    waitEventId.clear();
+    srcDevice.clear();
+    srcStream.clear();
+}
 
 void Trace::enable(bool on)
 {
     mEnabled.store(on, std::memory_order_relaxed);
 }
 
-void Trace::add(TraceEntry entry)
+uint32_t Trace::internName(std::string_view name)
+{
+    // Called with mMutex held. The transient string only allocates on a
+    // miss path for genuinely new names.
+    auto it = mNameIds.find(std::string(name));
+    if (it != mNameIds.end()) {
+        return it->second;
+    }
+    const auto id = static_cast<uint32_t>(mNames.size());
+    mNames.emplace_back(name);
+    mNameIds.emplace(mNames.back(), id);
+    return id;
+}
+
+void Trace::record(int device, int stream, TraceKind kind, std::string_view name, double startV,
+                   double endV, uint64_t bytes, int containerId, int runId, uint64_t waitEventId,
+                   int srcDevice, int srcStream)
 {
     if (!enabled()) {
         return;
     }
     std::lock_guard<std::mutex> lock(mMutex);
-    mEntries.push_back(std::move(entry));
+    mStore.reserveMore(1);
+    mStore.device.push_back(device);
+    mStore.stream.push_back(stream);
+    mStore.kind.push_back(static_cast<uint8_t>(kind));
+    mStore.nameId.push_back(internName(name));
+    mStore.startV.push_back(startV);
+    mStore.endV.push_back(endV);
+    mStore.bytes.push_back(bytes);
+    mStore.containerId.push_back(containerId);
+    mStore.runId.push_back(runId);
+    mStore.waitEventId.push_back(waitEventId);
+    mStore.srcDevice.push_back(srcDevice);
+    mStore.srcStream.push_back(srcStream);
+}
+
+void Trace::add(const TraceEntry& entry)
+{
+    record(entry.device, entry.stream, kindFromString(entry.kind), entry.name, entry.startV,
+           entry.endV, entry.bytes, entry.containerId, entry.runId, entry.waitEventId,
+           entry.srcDevice, entry.srcStream);
 }
 
 void Trace::clear()
 {
     std::lock_guard<std::mutex> lock(mMutex);
-    mEntries.clear();
+    mStore.clear();
+    mNames.clear();
+    mNameIds.clear();
+}
+
+size_t Trace::size() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return mStore.size();
+}
+
+size_t Trace::countKind(TraceKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    return static_cast<size_t>(
+        std::count(mStore.kind.begin(), mStore.kind.end(), static_cast<uint8_t>(kind)));
+}
+
+TraceEntry Trace::materialize(size_t i) const
+{
+    TraceEntry e;
+    e.device = mStore.device[i];
+    e.stream = mStore.stream[i];
+    e.kind = to_string(static_cast<TraceKind>(mStore.kind[i]));
+    e.name = mNames[mStore.nameId[i]];
+    e.startV = mStore.startV[i];
+    e.endV = mStore.endV[i];
+    e.bytes = mStore.bytes[i];
+    e.containerId = mStore.containerId[i];
+    e.runId = mStore.runId[i];
+    e.waitEventId = mStore.waitEventId[i];
+    e.srcDevice = mStore.srcDevice[i];
+    e.srcStream = mStore.srcStream[i];
+    return e;
 }
 
 std::vector<TraceEntry> Trace::entries() const
 {
     std::lock_guard<std::mutex> lock(mMutex);
-    return mEntries;
+    std::vector<TraceEntry>     out;
+    out.reserve(mStore.size());
+    for (size_t i = 0; i < mStore.size(); ++i) {
+        out.push_back(materialize(i));
+    }
+    return out;
 }
 
 std::vector<TraceEntry> Trace::entriesForRuns(int firstRunId, int lastRunId) const
 {
     std::lock_guard<std::mutex> lock(mMutex);
-    std::vector<TraceEntry> out;
-    for (const auto& e : mEntries) {
-        if (e.runId >= firstRunId && e.runId <= lastRunId) {
-            out.push_back(e);
+    std::vector<TraceEntry>     out;
+    for (size_t i = 0; i < mStore.size(); ++i) {
+        if (mStore.runId[i] >= firstRunId && mStore.runId[i] <= lastRunId) {
+            out.push_back(materialize(i));
         }
     }
     return out;

@@ -5,20 +5,41 @@
 // assert that communication really overlapped computation), by the text
 // Gantt chart, by the chrome://tracing / Perfetto JSON exporter and by
 // neon::ExecutionReport aggregation.
+//
+// Storage is struct-of-arrays with an interned name table: recording an
+// event on the engine hot path appends plain scalars plus one name-id
+// lookup, instead of constructing two heap strings per entry. The AoS
+// TraceEntry view is materialized on demand by entries().
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace neon::sys {
+
+/// Event category. The string spellings ("kernel", "transfer", ...) are
+/// stable public API: reports, tests and the chrome-trace export key on
+/// them through TraceEntry::kind / to_string(TraceKind).
+enum class TraceKind : uint8_t
+{
+    Kernel,
+    Transfer,
+    HostFn,
+    Wait,
+    Fault,
+};
+
+const std::string& to_string(TraceKind k);
 
 struct TraceEntry
 {
     int         device = 0;
     int         stream = 0;
-    std::string kind;  ///< "kernel" | "transfer" | "hostFn" | "wait"
+    std::string kind;  ///< "kernel" | "transfer" | "hostFn" | "wait" | "fault"
     std::string name;
     double      startV = 0.0;
     double      endV = 0.0;
@@ -46,8 +67,21 @@ class Trace
     void enable(bool on);
     [[nodiscard]] bool enabled() const { return mEnabled.load(std::memory_order_relaxed); }
 
-    void add(TraceEntry entry);
+    /// Hot-path recording: no TraceEntry construction, the name is interned
+    /// (repeated kernel/transfer names share one stored string).
+    void record(int device, int stream, TraceKind kind, std::string_view name, double startV,
+                double endV, uint64_t bytes = 0, int containerId = -1, int runId = -1,
+                uint64_t waitEventId = 0, int srcDevice = -1, int srcStream = -1);
+
+    /// Compatibility shim over record(): accepts a materialized entry (the
+    /// kind string must be one of the five to_string(TraceKind) spellings).
+    void add(const TraceEntry& entry);
+
     void clear();
+
+    [[nodiscard]] size_t size() const;
+    /// Number of recorded events of `kind` (e.g. injected fault rows).
+    [[nodiscard]] size_t countKind(TraceKind kind) const;
 
     [[nodiscard]] std::vector<TraceEntry> entries() const;
     /// Entries whose runId lies in [firstRunId, lastRunId].
@@ -71,11 +105,38 @@ class Trace
     [[nodiscard]] std::string chromeTrace() const;
 
    private:
-    mutable std::mutex      mMutex;
-    std::atomic<bool>       mEnabled{false};
-    std::vector<TraceEntry> mEntries;
-    TraceContext            mContext;
-    std::atomic<int>        mNextRunId{0};
+    /// Columnar event store: one vector per field, grown in lockstep.
+    struct Store
+    {
+        std::vector<int32_t>  device;
+        std::vector<int32_t>  stream;
+        std::vector<uint8_t>  kind;
+        std::vector<uint32_t> nameId;
+        std::vector<double>   startV;
+        std::vector<double>   endV;
+        std::vector<uint64_t> bytes;
+        std::vector<int32_t>  containerId;
+        std::vector<int32_t>  runId;
+        std::vector<uint64_t> waitEventId;
+        std::vector<int32_t>  srcDevice;
+        std::vector<int32_t>  srcStream;
+
+        [[nodiscard]] size_t size() const { return device.size(); }
+        void                 reserveMore(size_t extra);
+        void                 clear();
+    };
+
+    [[nodiscard]] uint32_t    internName(std::string_view name);
+    [[nodiscard]] TraceEntry  materialize(size_t i) const;
+
+    mutable std::mutex mMutex;
+    std::atomic<bool>  mEnabled{false};
+    Store              mStore;
+    /// Interned name table: id -> string, plus the reverse lookup.
+    std::vector<std::string>                  mNames;
+    std::unordered_map<std::string, uint32_t> mNameIds;
+    TraceContext                              mContext;
+    std::atomic<int>                          mNextRunId{0};
 };
 
 }  // namespace neon::sys

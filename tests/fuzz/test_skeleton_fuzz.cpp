@@ -2,11 +2,17 @@
 //
 // Each seed derives a random skeleton — grid shape, field count, device
 // count, map/stencil/reduce/scalar mix, OCC mode, stream cap, run count —
-// and asserts three properties:
+// and asserts five properties:
 //   1. the Sequential and Threaded engines produce bitwise-identical
 //      fields and scalars,
 //   2. Skeleton::validate() (the schedule lint) is clean,
-//   3. the happens-before race detector is clean.
+//   3. the happens-before race detector is clean,
+//   4. a schedule-cache replay of the same structure is bitwise identical
+//      to a full recompile and lints clean (docs/performance.md),
+//   5. under a fixed-seed transient FaultPlan, the cached and recompiled
+//      schedules fire the identical number of fault events (the fault
+//      ordinals are a pure function of the schedule, so a replay that
+//      reordered anything would change them).
 //
 // The battery runs 200 seeds, sharded 8 x 25 so ctest parallelizes it.
 // On failure every assertion prints the seed; reproduce a single seed with
@@ -24,7 +30,9 @@
 
 #include "dgrid/dfield.hpp"
 #include "patterns/blas.hpp"
+#include "skeleton/schedule_cache.hpp"
 #include "skeleton/skeleton.hpp"
+#include "sys/fault.hpp"
 
 namespace neon::skeleton {
 
@@ -104,13 +112,29 @@ struct Snapshot
     std::vector<double> data;
     double              s0v = 0.0;
     double              s1v = 0.0;
+    bool                cacheHit = false;
+    int                 faultEvents = -1;
 };
 
-Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, bool lintSchedule)
+struct ExecMode
+{
+    bool useCache = false;       ///< consult/populate the schedule cache
+    bool expectCacheHit = false;  ///< assert sequence() was a cache hit
+    bool lint = false;            ///< assert validate() is clean
+    uint64_t faultSeed = 0;       ///< != 0: fixed-seed transient FaultPlan
+};
+
+Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& mode)
 {
     Backend backend(fc.nDev, sys::DeviceType::CPU, sys::SimConfig::zeroCost(), kind);
     auto    analyzer = backend.analysis();
     analyzer.enable();
+    if (mode.faultSeed != 0) {
+        backend.faults().setPlan(sys::FaultPlan(mode.faultSeed)
+                                     .add(sys::FaultSpec::transientTransfer(1)
+                                              .withProbability(0.4)));
+        backend.profiler().enable();  // faultEvents() counts trace rows
+    }
 
     dgrid::DGrid grid(backend, fc.dim, Stencil::laplace7());
     GlobalScalar<double> s0(grid.backend(), "s0", 0.3);
@@ -179,9 +203,16 @@ Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, bool lintSchedule
         }
     }
 
-    Skeleton skl(grid.backend());
-    skl.sequence(seq, "fuzz", Options().withOcc(fc.occ).withMaxStreams(fc.maxStreams));
-    if (lintSchedule) {
+    Skeleton               skl(grid.backend());
+    const CompiledSchedule compiled = skl.sequence(seq, SequenceOptions()
+                                                            .withName("fuzz")
+                                                            .withOcc(fc.occ)
+                                                            .withMaxStreams(fc.maxStreams)
+                                                            .withCache(mode.useCache));
+    if (mode.expectCacheHit) {
+        EXPECT_TRUE(compiled.cacheHit()) << "expected a schedule-cache hit";
+    }
+    if (mode.lint) {
         const auto lint = skl.validate();
         EXPECT_TRUE(lint.clean()) << lint.toString();
     }
@@ -200,7 +231,22 @@ Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, bool lintSchedule
     }
     snap.s0v = s0.hostValue();
     snap.s1v = s1.hostValue();
+    snap.cacheHit = compiled.cacheHit();
+    if (mode.faultSeed != 0) {
+        snap.faultEvents = backend.profiler().faultEvents();
+    }
     return snap;
+}
+
+void expectBitwiseEqual(const Snapshot& a, const Snapshot& b, const char* what, unsigned seed)
+{
+    ASSERT_EQ(a.data.size(), b.data.size());
+    for (size_t i = 0; i < a.data.size(); ++i) {
+        ASSERT_EQ(a.data[i], b.data[i])
+            << what << ": field value diverged at flat index " << i << " (seed " << seed << ")";
+    }
+    ASSERT_EQ(a.s0v, b.s0v) << what << ": scalar s0 diverged (seed " << seed << ")";
+    ASSERT_EQ(a.s1v, b.s1v) << what << ": scalar s1 diverged (seed " << seed << ")";
 }
 
 void runSeed(unsigned seed)
@@ -209,18 +255,43 @@ void runSeed(unsigned seed)
     SCOPED_TRACE("reproduce with: NEON_FUZZ_SEED=" + std::to_string(seed) + "  [" +
                  fc.toString() + "]");
 
-    const Snapshot seqSnap = execute(fc, Backend::EngineKind::Sequential, /*lint=*/true);
-    const Snapshot thrSnap = execute(fc, Backend::EngineKind::Threaded, /*lint=*/false);
+    // Reference: sequential engine, full recompile (cache off).
+    const Snapshot seqSnap =
+        execute(fc, Backend::EngineKind::Sequential, ExecMode{false, false, true, 0});
+    // Prime the schedule cache, then replay the recipe onto fresh fields;
+    // the replayed schedule must lint clean and compute identical bits.
+    const Snapshot primeSnap =
+        execute(fc, Backend::EngineKind::Sequential, ExecMode{true, false, false, 0});
+    const Snapshot replaySnap =
+        execute(fc, Backend::EngineKind::Sequential, ExecMode{true, true, true, 0});
+    // The threaded engine rides the same cache entry (engine kind is not
+    // part of the structural key).
+    const Snapshot thrSnap =
+        execute(fc, Backend::EngineKind::Threaded, ExecMode{true, true, false, 0});
 
-    // Bitwise equality: with a race-free schedule both engines perform the
-    // identical sequence of floating-point operations per cell.
-    ASSERT_EQ(seqSnap.data.size(), thrSnap.data.size());
-    for (size_t i = 0; i < seqSnap.data.size(); ++i) {
-        ASSERT_EQ(seqSnap.data[i], thrSnap.data[i])
-            << "field value diverged at flat index " << i << " (seed " << seed << ")";
+    // Bitwise equality: with a race-free schedule both engines — and both
+    // compilation paths — perform the identical sequence of floating-point
+    // operations per cell.
+    expectBitwiseEqual(seqSnap, primeSnap, "compile(cache-on)", seed);
+    expectBitwiseEqual(seqSnap, replaySnap, "cache replay", seed);
+    expectBitwiseEqual(seqSnap, thrSnap, "threaded", seed);
+
+    // Fault-ordinal equality: decisions are a pure function of the plan
+    // seed and each op's (device, stream, kind, per-stream ordinal, run),
+    // so a faithful replay fires exactly the faults the recompile fires —
+    // and transient transfer faults stay invisible to the data.
+    if (fc.nDev > 1) {
+        const uint64_t faultSeed = 77'000u + seed;
+        const Snapshot faultOff = execute(fc, Backend::EngineKind::Sequential,
+                                          ExecMode{false, false, false, faultSeed});
+        const Snapshot faultOn = execute(fc, Backend::EngineKind::Sequential,
+                                         ExecMode{true, true, false, faultSeed});
+        ASSERT_EQ(faultOff.faultEvents, faultOn.faultEvents)
+            << "fault ordinals diverged between recompile and cache replay (seed " << seed
+            << ")";
+        expectBitwiseEqual(seqSnap, faultOff, "faulted recompile", seed);
+        expectBitwiseEqual(faultOff, faultOn, "faulted cache replay", seed);
     }
-    ASSERT_EQ(seqSnap.s0v, thrSnap.s0v) << "scalar s0 diverged (seed " << seed << ")";
-    ASSERT_EQ(seqSnap.s1v, thrSnap.s1v) << "scalar s1 diverged (seed " << seed << ")";
 }
 
 /// NEON_FUZZ_SEED=<n>: run exactly that seed (reproduction workflow).

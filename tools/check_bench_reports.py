@@ -1,15 +1,26 @@
 #!/usr/bin/env python3
-"""Validate the ExecutionReport JSON files the fig7/8/9 benches emit.
+"""Validate the JSON reports the benches emit.
 
-Usage: check_bench_reports.py BENCH_fig7_lbm_scaling_report.json [...]
+Usage: check_bench_reports.py [--overhead-baseline BASELINE.json] REPORT.json [...]
 
-Each report must parse as JSON and carry the ExecutionReport schema
-(docs/observability.md): the overlap/halo/critical-path aggregates plus
-per-device, per-stream and per-container breakdowns. Exit status is
-nonzero on the first missing or malformed report, so CI fails when a
-bench stops writing the observability payload.
+Two schemas are understood:
+
+* ExecutionReport payloads from the fig7/8/9 benches
+  (docs/observability.md): the overlap/halo/critical-path aggregates plus
+  per-device, per-stream and per-container breakdowns.
+* The runtime-overhead report from bench_overhead
+  (docs/performance.md, "bench": "overhead"): enqueue cost plus
+  compile-vs-cached sequence() timings. The machine-independent gate is
+  speedup >= 10 (a cached sequence() must replay, not recompile). With
+  --overhead-baseline, the cached-path wall cost is additionally gated at
+  2x the committed baseline, so a hot-path regression fails CI even when
+  the compile path regresses by the same factor.
+
+Exit status is nonzero on the first missing or malformed report, so CI
+fails when a bench stops writing its payload.
 """
 
+import argparse
 import json
 import sys
 
@@ -28,17 +39,28 @@ TOP_LEVEL_KEYS = [
 
 DEVICE_KEYS = ["device", "computeBusy", "transferBusy", "overlap", "haloBytes"]
 
+OVERHEAD_ENQUEUE_KEYS = ["ops_per_run", "runs_measured", "ns_per_op"]
+OVERHEAD_SEQUENCE_KEYS = ["repeats", "compile_ns", "cached_ns", "speedup", "cache_hits"]
 
-def check(path: str) -> list[str]:
-    errors = []
+# A cached sequence() is a recipe replay; anything under this factor means
+# it is recompiling (or the cache stopped hitting).
+MIN_CACHED_SPEEDUP = 10.0
+# Regression headroom against the committed baseline's cached_ns.
+BASELINE_SLACK = 2.0
+
+
+def load(path: str):
     try:
         with open(path, encoding="utf-8") as f:
-            report = json.load(f)
+            return json.load(f), []
     except OSError as exc:
-        return [f"{path}: cannot read: {exc}"]
+        return None, [f"{path}: cannot read: {exc}"]
     except json.JSONDecodeError as exc:
-        return [f"{path}: not valid JSON: {exc}"]
+        return None, [f"{path}: not valid JSON: {exc}"]
 
+
+def check_execution_report(path: str, report: dict) -> list[str]:
+    errors = []
     for key in TOP_LEVEL_KEYS:
         if key not in report:
             errors.append(f"{path}: missing key '{key}'")
@@ -65,14 +87,80 @@ def check(path: str) -> list[str]:
     return errors
 
 
+def check_overhead_report(path: str, report: dict, baseline_path: str | None) -> list[str]:
+    errors = []
+    enqueue = report.get("enqueue")
+    sequence = report.get("sequence")
+    if not isinstance(enqueue, dict):
+        errors.append(f"{path}: missing 'enqueue' section")
+    else:
+        for key in OVERHEAD_ENQUEUE_KEYS:
+            if key not in enqueue:
+                errors.append(f"{path}: enqueue section missing '{key}'")
+    if not isinstance(sequence, dict):
+        errors.append(f"{path}: missing 'sequence' section")
+    else:
+        for key in OVERHEAD_SEQUENCE_KEYS:
+            if key not in sequence:
+                errors.append(f"{path}: sequence section missing '{key}'")
+    if errors:
+        return errors
+
+    if enqueue["ns_per_op"] <= 0:
+        errors.append(f"{path}: non-positive ns_per_op")
+    if sequence["cached_ns"] <= 0 or sequence["compile_ns"] <= 0:
+        errors.append(f"{path}: non-positive sequence timings")
+    if sequence["cache_hits"] != sequence["repeats"]:
+        errors.append(
+            f"{path}: only {sequence['cache_hits']}/{sequence['repeats']} cached "
+            "sequence() calls hit the schedule cache"
+        )
+    if sequence["speedup"] < MIN_CACHED_SPEEDUP:
+        errors.append(
+            f"{path}: cached sequence() only {sequence['speedup']:.1f}x cheaper than "
+            f"compile (gate: >= {MIN_CACHED_SPEEDUP:.0f}x) — the cache is not replaying"
+        )
+
+    if baseline_path is not None:
+        baseline, load_errors = load(baseline_path)
+        if load_errors:
+            return errors + load_errors
+        base_cached = baseline.get("sequence", {}).get("cached_ns")
+        if base_cached is None:
+            errors.append(f"{baseline_path}: baseline missing sequence.cached_ns")
+        elif sequence["cached_ns"] > BASELINE_SLACK * base_cached:
+            errors.append(
+                f"{path}: cached sequence() cost {sequence['cached_ns']:.0f} ns exceeds "
+                f"{BASELINE_SLACK:.0f}x baseline ({base_cached:.0f} ns from {baseline_path})"
+            )
+    return errors
+
+
+def check(path: str, overhead_baseline: str | None) -> list[str]:
+    report, errors = load(path)
+    if errors:
+        return errors
+    if report.get("bench") == "overhead":
+        return check_overhead_report(path, report, overhead_baseline)
+    return check_execution_report(path, report)
+
+
 def main() -> int:
-    paths = sys.argv[1:]
-    if not paths:
-        print(__doc__, file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--overhead-baseline",
+        metavar="BASELINE.json",
+        help="committed overhead baseline; gates cached_ns at "
+        f"{BASELINE_SLACK:.0f}x the baseline value",
+    )
+    parser.add_argument("reports", nargs="+", metavar="REPORT.json")
+    args = parser.parse_args()
+
     failed = False
-    for path in paths:
-        errors = check(path)
+    for path in args.reports:
+        errors = check(path, args.overhead_baseline)
         if errors:
             failed = True
             for error in errors:
