@@ -4,10 +4,13 @@
 //       completion events, stream waits, launch dispatch),
 //   (b) sequence() compilation cost: full pipeline (graph -> OCC ->
 //       transitive reduction -> schedule) vs a schedule-cache replay of the
-//       same structure.
-// Emits BENCH_overhead_report.json; CI gates cached-sequence cost against
-// bench/baselines/BENCH_overhead_baseline.json and requires the cached
-// path to be >= 10x cheaper than the compile path
+//       same structure,
+//   (c) CPU-device dispatch: ns per cell of a map kernel through the
+//       devirtualized trampoline path, host pool pinned to one thread so
+//       the number is dispatch overhead rather than parallel speedup.
+// Emits BENCH_overhead_report.json; CI gates cached-sequence cost and
+// ns-per-cell dispatch against bench/baselines/BENCH_overhead_baseline.json
+// and requires the cached path to be >= 10x cheaper than the compile path
 // (tools/check_bench_reports.py).
 
 #include <benchmark/benchmark.h>
@@ -177,6 +180,40 @@ int main(int argc, char** argv)
     const double cachedMedian = medianNs(cachedNs);
     const double speedup = compileMedian / cachedMedian;
 
+    // ---- (c) CPU-device dispatch: ns per cell ---------------------------
+    // One thread on purpose: the gate watches the cost of getting from
+    // skl.run() into the kernel body (trampoline + chunk loop), which
+    // parallel speedup would mask.
+    setenv("NEON_THREADS", "1", 1);
+    set::Backend cpu = set::Backend::cpu(1);
+    dgrid::DGrid cpuGrid(cpu, {48, 48, 48}, Stencil::laplace7());
+    auto         fa = cpuGrid.newField<double>("a", 1, 0.0);
+    auto         fb = cpuGrid.newField<double>("b", 1, 0.0);
+    fa.forEachHost([](const index_3d& g, int, double& v) { v = 0.001 * (g.x + g.y + g.z); });
+    fa.updateDev();
+    fb.updateDev();
+    std::vector<set::Container> axpy = {
+        cpuGrid.newContainer("axpy", [fa, fb](set::Loader& l) mutable {
+            auto ap = l.load(fa, Access::READ);
+            auto bp = l.load(fb, Access::WRITE);
+            return [=](const dgrid::DCell& c) mutable { bp(c) = 0.99 * bp(c) + ap(c); };
+        })};
+    skeleton::Skeleton cpuSkl(cpu);
+    (void)cpuSkl.sequence(axpy, skeleton::SequenceOptions().withName("dispatch"));
+    const double  cells = static_cast<double>(cpuGrid.cellCount());
+    constexpr int kDispatchWarmup = 3;
+    constexpr int kDispatchRuns = 20;
+    for (int i = 0; i < kDispatchWarmup; ++i) {
+        cpuSkl.run();
+    }
+    cpuSkl.sync();
+    const auto tDisp0 = Clock::now();
+    for (int i = 0; i < kDispatchRuns; ++i) {
+        cpuSkl.run();
+    }
+    cpuSkl.sync();
+    const double nsPerCell = nsBetween(tDisp0, Clock::now()) / (kDispatchRuns * cells);
+
     benchtool::Table table;
     table.title = "Runtime overhead (zero-cost backend, wall clock)";
     table.header = {"metric", "value"};
@@ -187,6 +224,7 @@ int main(int argc, char** argv)
         {"sequence() cached (us, median)", benchtool::fmt(cachedMedian / 1e3, 1)},
         {"compile / cached speedup", benchtool::fmt(speedup, 1)},
         {"cache hits", benchtool::fmt(hits, 0) + "/" + benchtool::fmt(kRepeats, 0)},
+        {"cpu dispatch (ns per cell)", benchtool::fmt(nsPerCell, 2)},
     };
     table.print();
 
@@ -206,6 +244,11 @@ int main(int argc, char** argv)
        << "    \"cached_ns\": " << cachedMedian << ",\n"
        << "    \"speedup\": " << speedup << ",\n"
        << "    \"cache_hits\": " << hits << "\n"
+       << "  },\n"
+       << "  \"dispatch\": {\n"
+       << "    \"cells\": " << cells << ",\n"
+       << "    \"runs_measured\": " << kDispatchRuns << ",\n"
+       << "    \"ns_per_cell\": " << nsPerCell << "\n"
        << "  }\n"
        << "}\n";
     std::cout << "wrote BENCH_overhead_report.json (speedup " << benchtool::fmt(speedup, 1)

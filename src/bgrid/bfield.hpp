@@ -114,6 +114,13 @@ struct BPartition
         return {o.x + cell.x, o.y + cell.y, o.z + cell.z};
     }
 
+    /// Flat buffer index of an owned cell — what FieldBase::forEachActiveHost
+    /// adds to rawHost() (domain contract, shared by every grid's partition).
+    [[nodiscard]] size_t flatIdx(const BCell& cell, int32_t c) const
+    {
+        return bufIdx(cellIdx(cell), c);
+    }
+
     [[nodiscard]] int32_t cardinality() const { return card; }
 };
 
@@ -190,34 +197,18 @@ class BField : public domain::FieldBase<BGrid, T>
 
     [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
 
-    /// Visit every (active cell, component) of the host mirror (per-device
-    /// descriptors hoisted out of the loop).
-    template <typename Fn>  // fn(const index_3d&, int card, T&)
-    void forEachActiveHost(Fn&& fn) const
+    /// Partition descriptor pointing at the host mirror: structure tables
+    /// retargeted to their host copies so globalIdx/flatIdx work host-side
+    /// (FieldBase::forEachActiveHost pairs it with rawHost()).
+    [[nodiscard]] Partition hostPartition(int dev) const
     {
-        const BGrid&  g = grid();
-        const int32_t card = cardinality();
-        const int32_t bd = g.blockSize();
-        for (int d = 0; d < g.devCount(); ++d) {
-            const auto&     p = g.part(d);
-            const uint64_t* masks = g.masks().rawHost(d);
-            const index_3d* origins = g.origins().rawHost(d);
-            const Partition part = getPartition(d);
-            T*              host = this->rawHost(d);
-            for (int32_t b = 0; b < p.nOwned; ++b) {
-                uint64_t m = masks[b];
-                while (m != 0) {
-                    const int v = std::countr_zero(m);
-                    m &= m - 1;
-                    const index_3d gc{origins[b].x + v % bd, origins[b].y + (v / bd) % bd,
-                                      origins[b].z + v / (bd * bd)};
-                    for (int32_t c = 0; c < card; ++c) {
-                        fn(gc, c,
-                           host[part.bufIdx(static_cast<int64_t>(b) * part.blockVol + v, c)]);
-                    }
-                }
-            }
-        }
+        const BGrid& g = grid();
+        Partition    part = getPartition(dev);
+        part.mem = nullptr;  // callers index via flatIdx against rawHost
+        part.masks = g.masks().rawHost(dev);
+        part.blockNgh = g.blockNgh().rawHost(dev);
+        part.origins = g.origins().rawHost(dev);
+        return part;
     }
 };
 

@@ -314,6 +314,15 @@ BSpan BGrid::span(int dev, DataView view) const
     return {};
 }
 
+BSpan BGrid::hostSpan(int dev) const
+{
+    const Impl&     g = impl<Impl>();
+    const PartInfo& p = part(dev);
+    const auto&     prefix = g.activePrefix[static_cast<size_t>(dev)];
+    const size_t    cells = static_cast<size_t>(prefix[static_cast<size_t>(p.nOwned)] - prefix[0]);
+    return BSpan(g.masks.rawHost(dev), g.blockDim, cells, {0, p.nOwned});
+}
+
 const BGrid::PartInfo& BGrid::part(int dev) const
 {
     NEON_CHECK(dev >= 0 && dev < devCount(), "device index out of range");

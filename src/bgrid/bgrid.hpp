@@ -28,6 +28,7 @@
 #include "core/stencil.hpp"
 #include "core/types.hpp"
 #include "domain/grid_base.hpp"
+#include "domain/span.hpp"
 #include "set/backend.hpp"
 #include "set/memset.hpp"
 
@@ -42,55 +43,40 @@ struct BCell
     int8_t  z = 0;
 };
 
+/// domain::Span decoder for the block-sparse grid: a slot is one block;
+/// its active voxels are walked mask-bit by mask-bit (deterministic
+/// ascending order — the engine-equivalence guarantees build on it).
+struct BSpanDecoder
+{
+    const uint64_t* masks = nullptr;
+    int32_t         blockDim = 2;
+
+    template <typename Fn>
+    void forEachInSlot(int32_t b, Fn&& fn) const
+    {
+        const int32_t bd = blockDim;
+        uint64_t      m = masks[b];
+        while (m != 0) {
+            const int v = std::countr_zero(m);
+            m &= m - 1;
+            fn(BCell{b, static_cast<int8_t>(v % bd), static_cast<int8_t>((v / bd) % bd),
+                     static_cast<int8_t>(v / (bd * bd))});
+        }
+    }
+};
+
 /// Iteration space of one (device, view): up to two contiguous local block
-/// ranges; within each block the active voxels are walked mask-bit by
-/// mask-bit (deterministic ascending order — the engine-equivalence
-/// guarantees build on it).
-class BSpan
+/// ranges, lowered onto domain::Span with blocks as slots.
+class BSpan : public domain::Span<BSpanDecoder>
 {
    public:
-    struct Range
-    {
-        int32_t first = 0;
-        int32_t count = 0;
-    };
+    using Range = domain::SpanRange;
 
     BSpan() = default;
     BSpan(const uint64_t* masks, int32_t blockDim, size_t cells, Range r0, Range r1 = {0, 0})
-        : mMasks(masks), mBlockDim(blockDim), mCells(cells), mR0(r0), mR1(r1)
+        : domain::Span<BSpanDecoder>(BSpanDecoder{masks, blockDim}, cells, r0, r1)
     {
     }
-
-    [[nodiscard]] size_t count() const { return mCells; }
-
-    template <typename Fn>
-    void forEach(Fn&& fn) const
-    {
-        forRange(mR0, fn);
-        forRange(mR1, fn);
-    }
-
-   private:
-    template <typename Fn>
-    void forRange(const Range& r, Fn&& fn) const
-    {
-        const int32_t bd = mBlockDim;
-        for (int32_t b = r.first; b < r.first + r.count; ++b) {
-            uint64_t m = mMasks[b];
-            while (m != 0) {
-                const int v = std::countr_zero(m);
-                m &= m - 1;
-                fn(BCell{b, static_cast<int8_t>(v % bd), static_cast<int8_t>((v / bd) % bd),
-                         static_cast<int8_t>(v / (bd * bd))});
-            }
-        }
-    }
-
-    const uint64_t* mMasks = nullptr;
-    int32_t         mBlockDim = 2;
-    size_t          mCells = 0;
-    Range           mR0;
-    Range           mR1;
 };
 
 template <typename T>
@@ -131,6 +117,9 @@ class BGrid : public domain::GridBase, public domain::GridOps<BGrid>
     }
 
     [[nodiscard]] BSpan span(int dev, DataView view) const;
+    /// STANDARD span whose mask pointer targets the host mirror, for
+    /// host-side iteration (FieldBase::forEachActiveHost).
+    [[nodiscard]] BSpan hostSpan(int dev) const;
 
     [[nodiscard]] const PartInfo& part(int dev) const;
     [[nodiscard]] size_t          activeCount() const;

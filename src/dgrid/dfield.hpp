@@ -101,6 +101,13 @@ struct DPartition
         return {cell.x, cell.y, zOrigin + cell.z};
     }
 
+    /// Flat buffer index of an owned cell — what FieldBase::forEachActiveHost
+    /// adds to rawHost() (domain contract, shared by every grid's partition).
+    [[nodiscard]] size_t flatIdx(const DCell& cell, int32_t c) const
+    {
+        return bufIdx(cell.x, cell.y, cell.z + haloR, c);
+    }
+
     [[nodiscard]] index_3d globalDim() const { return {dimX, dimY, globalZ}; }
 
     [[nodiscard]] int32_t cardinality() const { return card; }
@@ -169,46 +176,20 @@ class DField : public domain::FieldBase<DGrid, T>
 
     [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
 
-    /// Visit every (cell, component) of the host mirror in global z-major
-    /// order. The partition descriptor and host pointer are hoisted per
-    /// device, so the visit is O(N) (not O(N*P) as a per-cell hRef would be).
+    /// Dense-grid alias for the shared host visit (global z-major order,
+    /// lowered onto the grid's hostSpan by domain::FieldBase).
     template <typename Fn>  // fn(const index_3d&, int card, T&)
     void forEachHost(Fn&& fn) const
     {
-        const DGrid&   g = grid();
-        const index_3d dim = g.dim();
-        const int32_t  card = cardinality();
-        for (int d = 0; d < g.devCount(); ++d) {
-            const auto&     p = g.part(d);
-            const Partition part = hostPartition(d);
-            T*              host = this->rawHost(d);
-            for (int32_t z = 0; z < p.zCount; ++z) {
-                for (int32_t y = 0; y < dim.y; ++y) {
-                    for (int32_t x = 0; x < dim.x; ++x) {
-                        const index_3d gc{x, y, p.zOrigin + z};
-                        for (int32_t c = 0; c < card; ++c) {
-                            fn(gc, c, host[part.bufIdx(x, y, z + part.haloR, c)]);
-                        }
-                    }
-                }
-            }
-        }
+        Base::forEachActiveHost(std::forward<Fn>(fn));
     }
 
-    /// Grid-generic alias (every dense cell is active); lets code templated
-    /// over DField/EField/BField use one name.
-    template <typename Fn>
-    void forEachActiveHost(Fn&& fn) const
-    {
-        forEachHost(std::forward<Fn>(fn));
-    }
-
-   private:
-    /// Partition descriptor pointing at the host mirror (indexing only).
+    /// Partition descriptor pointing at the host mirror (indexing only;
+    /// FieldBase::forEachActiveHost pairs it with rawHost()).
     [[nodiscard]] Partition hostPartition(int dev) const
     {
         Partition part = getPartition(dev);
-        part.mem = nullptr;  // callers index via bufIdx against rawHost
+        part.mem = nullptr;  // callers index via flatIdx against rawHost
         return part;
     }
 };

@@ -14,6 +14,7 @@
 #include "core/stencil.hpp"
 #include "core/types.hpp"
 #include "domain/grid_base.hpp"
+#include "domain/span.hpp"
 #include "set/backend.hpp"
 
 namespace neon::dgrid {
@@ -26,54 +27,41 @@ struct DCell
     int32_t z = 0;
 };
 
-/// The iteration space of one (device, DataView) pair: full x/y extent and
-/// up to two z ranges (the BOUNDARY view is the union of the low and high
-/// slabs, paper Fig. 3).
-class DSpan
+/// domain::Span decoder for the dense grid: a slot is one z-plane, expanded
+/// y-outer/x-inner.
+struct DSpanDecoder
 {
-   public:
-    struct ZRange
-    {
-        int32_t first = 0;
-        int32_t count = 0;
-    };
-
-    DSpan() = default;
-    DSpan(int32_t dimX, int32_t dimY, ZRange r0, ZRange r1 = {0, 0})
-        : mDimX(dimX), mDimY(dimY), mR0(r0), mR1(r1)
-    {
-    }
-
-    [[nodiscard]] size_t count() const
-    {
-        return static_cast<size_t>(mDimX) * static_cast<size_t>(mDimY) *
-               static_cast<size_t>(mR0.count + mR1.count);
-    }
+    int32_t dimX = 0;
+    int32_t dimY = 0;
 
     template <typename Fn>
-    void forEach(Fn&& fn) const
+    void forEachInSlot(int32_t z, Fn&& fn) const
     {
-        forRange(mR0, fn);
-        forRange(mR1, fn);
-    }
-
-   private:
-    template <typename Fn>
-    void forRange(const ZRange& r, Fn&& fn) const
-    {
-        for (int32_t z = r.first; z < r.first + r.count; ++z) {
-            for (int32_t y = 0; y < mDimY; ++y) {
-                for (int32_t x = 0; x < mDimX; ++x) {
-                    fn(DCell{x, y, z});
-                }
+        for (int32_t y = 0; y < dimY; ++y) {
+            for (int32_t x = 0; x < dimX; ++x) {
+                fn(DCell{x, y, z});
             }
         }
     }
+};
 
-    int32_t mDimX = 0;
-    int32_t mDimY = 0;
-    ZRange  mR0;
-    ZRange  mR1;
+/// The iteration space of one (device, DataView) pair: full x/y extent and
+/// up to two z ranges (the BOUNDARY view is the union of the low and high
+/// slabs, paper Fig. 3). Lowered onto domain::Span with z-planes as slots.
+class DSpan : public domain::Span<DSpanDecoder>
+{
+   public:
+    using ZRange = domain::SpanRange;
+
+    DSpan() = default;
+    DSpan(int32_t dimX, int32_t dimY, ZRange r0, ZRange r1 = {0, 0})
+        : domain::Span<DSpanDecoder>(
+              DSpanDecoder{dimX, dimY},
+              static_cast<size_t>(dimX) * static_cast<size_t>(dimY) *
+                  static_cast<size_t>(r0.count + r1.count),
+              r0, r1)
+    {
+    }
 };
 
 template <typename T>
@@ -113,6 +101,9 @@ class DGrid : public domain::GridBase, public domain::GridOps<DGrid>
     }
 
     [[nodiscard]] DSpan span(int dev, DataView view) const;
+    /// STANDARD span for host-mirror iteration (the dense span carries no
+    /// device pointers, so it is the same object).
+    [[nodiscard]] DSpan hostSpan(int dev) const { return span(dev, DataView::STANDARD); }
 
     [[nodiscard]] const PartInfo& part(int dev) const;
     [[nodiscard]] size_t          cellCount() const;

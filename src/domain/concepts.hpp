@@ -40,11 +40,16 @@ concept Loadable = requires(const D d, int dev, DataView view, Compute compute) 
 
 /// The iteration space of one (device, DataView) pair. `forEach` must visit
 /// cells in a deterministic order (the engine-equivalence guarantees build
-/// on it) and `count()` must equal the number of visits.
+/// on it) and `count()` must equal the number of visits. The chunk API
+/// (domain::Span) partitions the same order into `chunkCount()` fixed
+/// pieces — a pure function of the span, never of the thread count — so
+/// `forEachChunk(c, n)` for c in [0, n) is exactly forEach.
 template <typename S>
-concept SpanConcept = requires(const S s) {
+concept SpanConcept = requires(const S s, int32_t chunk, int32_t nChunks) {
     { s.count() } -> std::convertible_to<size_t>;
+    { s.chunkCount() } -> std::convertible_to<int32_t>;
     s.forEach([](const auto& /*cell*/) {});
+    s.forEachChunk(chunk, nChunks, [](const auto& /*cell*/) {});
 };
 
 /// The grid contract the Skeleton, patterns and solvers build on.
@@ -71,6 +76,9 @@ concept GridConcept = requires(const G g, int dev, DataView view, const index_3d
     { g.haloRadius() } -> std::convertible_to<int>;
     { g.backend() };
     { g.span(dev, view) } -> std::convertible_to<typename G::Span>;
+    /// STANDARD span backed by host-side structure pointers (identical cell
+    /// order to span(dev, STANDARD)); FieldBase::forEachActiveHost walks it.
+    { g.hostSpan(dev) } -> std::convertible_to<typename G::Span>;
     { g.isActive(p) } -> std::convertible_to<bool>;
 };
 

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/index3d.hpp"
 #include "core/types.hpp"
 #include "domain/halo.hpp"
+#include "domain/span.hpp"
 #include "set/memset.hpp"
 
 namespace neon::domain {
@@ -60,6 +62,33 @@ class FieldBase
 
     /// Total device bytes held by this field (all partitions).
     [[nodiscard]] size_t allocatedBytes() const { return mCore->data.totalCount() * sizeof(T); }
+
+    /// Visit every (active cell, component) of the host mirror — THE host
+    /// iteration, shared by all grids. Walks the grid's hostSpan (the
+    /// STANDARD span backed by host-side structure pointers) with per-device
+    /// partition descriptor and mirror pointer hoisted, so the visit is O(N).
+    /// Order: devices ascending, then the span's deterministic cell order,
+    /// then components.
+    template <typename Fn>  // fn(const index_3d&, int card, T&)
+    void forEachActiveHost(Fn&& fn) const
+    {
+        // The concrete field supplies hostPartition(dev) (host-pointer
+        // addressing + flatIdx) and its grid supplies hostSpan(dev).
+        using Derived = typename GridT::template FieldType<T>;
+        const auto*   self = static_cast<const Derived*>(this);
+        const GridT&  g = mCore->grid;
+        const int32_t card = mCore->card;
+        for (int d = 0; d < g.devCount(); ++d) {
+            const auto part = self->hostPartition(d);
+            T*         host = rawHost(d);
+            forEachSpan(g.hostSpan(d), [&](const auto& cell) {
+                const index_3d gc = part.globalIdx(cell);
+                for (int32_t c = 0; c < card; ++c) {
+                    fn(gc, c, host[part.flatIdx(cell, c)]);
+                }
+            });
+        }
+    }
 
    protected:
     struct Core

@@ -1,0 +1,132 @@
+#pragma once
+// The unified span-iteration layer (docs/domain.md, docs/performance.md):
+// every grid's iteration space is "up to two contiguous ranges of an outer
+// *slot* index, plus a decoder that expands one slot into cells". DGrid
+// slots are z-planes, EGrid slots are single cells, BGrid slots are blocks.
+// DSpan/ESpan/BSpan are instantiations of domain::Span over their decoder,
+// so forEach order, chunked iteration and the deterministic chunk-partition
+// rule live here once instead of three near-duplicates.
+//
+// Chunking contract: chunkCount() is a pure function of the span (cell and
+// slot count), never of the executing thread count, and forEachChunk(c, n)
+// visits a fixed slot interval [c*S/n, (c+1)*S/n). Running the chunks on
+// any number of threads therefore touches exactly the same cells in the
+// same per-chunk order — the NEON_THREADS bitwise-determinism guarantee
+// builds on this (docs/performance.md, "Host parallelism").
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace neon::domain {
+
+/// One contiguous range of outer slot indices.
+struct SpanRange
+{
+    int32_t first = 0;
+    int32_t count = 0;
+};
+
+/// Deterministic chunk partition rule: enough chunks to feed a pool
+/// (cells / kSpanChunkCells, capped at kSpanMaxChunks) but never more than
+/// there are slots. Pure function of the span — NOT of the thread count.
+inline constexpr size_t  kSpanChunkCells = 2048;
+inline constexpr int32_t kSpanMaxChunks = 64;
+
+[[nodiscard]] constexpr int32_t spanChunkCount(size_t cells, int32_t slots)
+{
+    const size_t byCells = cells / kSpanChunkCells;
+    int32_t      n = byCells >= static_cast<size_t>(kSpanMaxChunks)
+                         ? kSpanMaxChunks
+                         : static_cast<int32_t>(byCells);
+    if (n < 1) {
+        n = 1;
+    }
+    if (slots >= 1 && n > slots) {
+        n = slots;
+    }
+    return n;
+}
+
+/// Iteration space of one (device, DataView) pair, generic over a slot
+/// Decoder providing `forEachInSlot(int32_t slot, Fn&&)`. Cells are visited
+/// slot-ascending (range 0 then range 1), with the decoder's in-slot order
+/// — deterministic, as SpanConcept requires.
+template <typename Decoder>
+class Span
+{
+   public:
+    using Range = SpanRange;
+
+    Span() = default;
+    Span(Decoder decoder, size_t cells, Range r0, Range r1 = {0, 0})
+        : mDecoder(std::move(decoder)), mCells(cells), mR0(r0), mR1(r1)
+    {
+    }
+
+    /// Number of cells forEach visits.
+    [[nodiscard]] size_t count() const { return mCells; }
+    /// Number of outer slots (chunking granularity).
+    [[nodiscard]] int32_t slotCount() const { return mR0.count + mR1.count; }
+    /// Fixed chunk partition size for this span (>= 1, see spanChunkCount).
+    [[nodiscard]] int32_t chunkCount() const { return spanChunkCount(mCells, slotCount()); }
+
+    [[nodiscard]] const Decoder& decoder() const { return mDecoder; }
+
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        forSlots(0, slotCount(), fn);
+    }
+
+    /// Visit chunk `chunk` of a fixed `nChunks`-way partition: slot
+    /// ordinals [chunk*S/n, (chunk+1)*S/n). The partition depends only on
+    /// (S, nChunks); executing chunks in any order or on any threads
+    /// visits the same cells.
+    template <typename Fn>
+    void forEachChunk(int32_t chunk, int32_t nChunks, Fn&& fn) const
+    {
+        const auto s = static_cast<int64_t>(slotCount());
+        const auto lo = static_cast<int32_t>(static_cast<int64_t>(chunk) * s / nChunks);
+        const auto hi = static_cast<int32_t>(static_cast<int64_t>(chunk + 1) * s / nChunks);
+        forSlots(lo, hi, fn);
+    }
+
+   private:
+    /// Visit slot ordinals [lo, hi): ordinal o maps into range 0 while
+    /// o < r0.count, then into range 1.
+    template <typename Fn>
+    void forSlots(int32_t lo, int32_t hi, Fn&& fn) const
+    {
+        const int32_t in0 = hi < mR0.count ? hi : mR0.count;
+        for (int32_t o = lo; o < in0; ++o) {
+            mDecoder.forEachInSlot(mR0.first + o, fn);
+        }
+        const int32_t from1 = lo > mR0.count ? lo : mR0.count;
+        for (int32_t o = from1; o < hi; ++o) {
+            mDecoder.forEachInSlot(mR1.first + (o - mR0.count), fn);
+        }
+    }
+
+    Decoder mDecoder{};
+    size_t  mCells = 0;
+    Range   mR0;
+    Range   mR1;
+};
+
+/// Free-function spelling used by generic code (FieldBase host visits, the
+/// container trampolines): iterate a whole span.
+template <typename SpanT, typename Fn>
+void forEachSpan(const SpanT& span, Fn&& fn)
+{
+    span.forEach(std::forward<Fn>(fn));
+}
+
+/// Iterate one chunk of a span's fixed partition.
+template <typename SpanT, typename Fn>
+void forEachSpanChunk(const SpanT& span, int32_t chunk, int32_t nChunks, Fn&& fn)
+{
+    span.forEachChunk(chunk, nChunks, std::forward<Fn>(fn));
+}
+
+}  // namespace neon::domain

@@ -100,6 +100,13 @@ struct EPartition
 
     [[nodiscard]] index_3d globalIdx(const ECell& cell) const { return coords[cell.idx]; }
 
+    /// Flat buffer index of an owned cell — what FieldBase::forEachActiveHost
+    /// adds to rawHost() (domain contract, shared by every grid's partition).
+    [[nodiscard]] size_t flatIdx(const ECell& cell, int32_t c) const
+    {
+        return bufIdx(cell.idx, c);
+    }
+
     [[nodiscard]] int32_t cardinality() const { return card; }
 };
 
@@ -172,24 +179,18 @@ class EField : public domain::FieldBase<EGrid, T>
 
     [[nodiscard]] T hVal(const index_3d& g, int32_t c = 0) const { return hRef(g, c); }
 
-    /// Visit every (active cell, component) of the host mirror (per-device
-    /// descriptors hoisted out of the loop).
-    template <typename Fn>  // fn(const index_3d&, int card, T&)
-    void forEachActiveHost(Fn&& fn) const
+    /// Partition descriptor pointing at the host mirror: structure tables
+    /// retargeted to their host copies so globalIdx/flatIdx work host-side
+    /// (FieldBase::forEachActiveHost pairs it with rawHost()).
+    [[nodiscard]] Partition hostPartition(int dev) const
     {
         const EGrid& g = grid();
-        const int32_t card = cardinality();
-        for (int d = 0; d < g.devCount(); ++d) {
-            const auto&     p = g.part(d);
-            const index_3d* coords = g.coords().rawHost(d);
-            const Partition part = getPartition(d);
-            T*              host = this->rawHost(d);
-            for (int32_t i = 0; i < p.nOwned; ++i) {
-                for (int32_t c = 0; c < card; ++c) {
-                    fn(coords[i], c, host[part.bufIdx(i, c)]);
-                }
-            }
-        }
+        Partition    part = getPartition(dev);
+        part.mem = nullptr;  // callers index via flatIdx against rawHost
+        part.conn = g.connectivity().rawHost(dev);
+        part.lut = g.offsetLut().rawHost(dev);
+        part.coords = g.coords().rawHost(dev);
+        return part;
     }
 };
 

@@ -20,6 +20,7 @@
 #include "core/stencil.hpp"
 #include "core/types.hpp"
 #include "domain/grid_base.hpp"
+#include "domain/span.hpp"
 #include "set/backend.hpp"
 #include "set/memset.hpp"
 
@@ -31,38 +32,30 @@ struct ECell
     int32_t idx = 0;
 };
 
-/// Iteration space of one (device, view): up to two contiguous index ranges.
-class ESpan
+/// domain::Span decoder for the element-sparse grid: a slot IS one cell.
+struct ESpanDecoder
+{
+    template <typename Fn>
+    void forEachInSlot(int32_t i, Fn&& fn) const
+    {
+        fn(ECell{i});
+    }
+};
+
+/// Iteration space of one (device, view): up to two contiguous index
+/// ranges, lowered onto domain::Span with cells as slots.
+class ESpan : public domain::Span<ESpanDecoder>
 {
    public:
-    struct Range
-    {
-        int32_t first = 0;
-        int32_t count = 0;
-    };
+    using Range = domain::SpanRange;
 
     ESpan() = default;
-    ESpan(Range r0, Range r1 = {0, 0}) : mR0(r0), mR1(r1) {}
-
-    [[nodiscard]] size_t count() const
+    explicit ESpan(Range r0, Range r1 = {0, 0})
+        : domain::Span<ESpanDecoder>(
+              ESpanDecoder{},
+              static_cast<size_t>(r0.count) + static_cast<size_t>(r1.count), r0, r1)
     {
-        return static_cast<size_t>(mR0.count) + static_cast<size_t>(mR1.count);
     }
-
-    template <typename Fn>
-    void forEach(Fn&& fn) const
-    {
-        for (int32_t i = mR0.first; i < mR0.first + mR0.count; ++i) {
-            fn(ECell{i});
-        }
-        for (int32_t i = mR1.first; i < mR1.first + mR1.count; ++i) {
-            fn(ECell{i});
-        }
-    }
-
-   private:
-    Range mR0;
-    Range mR1;
 };
 
 template <typename T>
@@ -103,6 +96,9 @@ class EGrid : public domain::GridBase, public domain::GridOps<EGrid>
     }
 
     [[nodiscard]] ESpan span(int dev, DataView view) const;
+    /// STANDARD span for host-mirror iteration (the element span carries no
+    /// device pointers, so it is the same object).
+    [[nodiscard]] ESpan hostSpan(int dev) const { return span(dev, DataView::STANDARD); }
 
     [[nodiscard]] const PartInfo& part(int dev) const;
     [[nodiscard]] size_t          activeCount() const;

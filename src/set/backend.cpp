@@ -4,12 +4,14 @@
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "core/error.hpp"
 #include "set/analyzer.hpp"
 #include "set/profiler.hpp"
 #include "sys/device.hpp"
 #include "sys/sequential_engine.hpp"
+#include "sys/thread_pool.hpp"
 #include "sys/threaded_engine.hpp"
 
 namespace neon::set {
@@ -71,6 +73,9 @@ std::string BackendSpec::toString() const
     std::ostringstream os;
     os << deviceTypeName(deviceType) << " x" << nDevices << " engine=" << set::to_string(engine)
        << " preset=" << preset;
+    if (hostThreads != 0) {
+        os << " threads=" << hostThreads;
+    }
     if (config.dryRun) {
         os << " dryRun";
     }
@@ -102,6 +107,10 @@ BackendSpec BackendSpec::fromString(const std::string& text)
             spec.engine = e == "sequential" ? EngineKind::Sequential : EngineKind::Threaded;
         } else if (token.rfind("preset=", 0) == 0) {
             spec.preset = token.substr(7);
+        } else if (token.rfind("threads=", 0) == 0) {
+            spec.hostThreads = std::stoi(token.substr(8));
+            NEON_CHECK(spec.hostThreads >= 1,
+                       "BackendSpec::fromString: threads= must be >= 1 in '" + text + "'");
         } else if (token == "dryRun") {
             dryRun = true;
         } else {
@@ -138,6 +147,8 @@ BackendSpec BackendSpec::cpu(int nDevices, EngineKind engine)
 struct Backend::Impl
 {
     BackendSpec                                spec;
+    int                                        hostThreads = 1;  ///< resolved pool width
+    std::shared_ptr<sys::ThreadPool>           pool;
     std::unique_ptr<sys::Engine>               engine;
     std::vector<std::unique_ptr<sys::Device>>  devices;
     // streams[dev][idx], lazily grown
@@ -181,14 +192,33 @@ Backend Backend::make(BackendSpec spec)
                    "NEON_ENGINE must be 'sequential' or 'threaded', got '" + e + "'");
         spec.engine = e == "sequential" ? EngineKind::Sequential : EngineKind::Threaded;
     }
+    // NEON_THREADS overrides the host-pool width process-wide (same
+    // convention as NEON_ENGINE); then spec.hostThreads; then auto. Safe to
+    // vary freely: the chunk partition is span-derived, so results are
+    // bitwise identical for any width.
+    int threads = spec.hostThreads;
+    if (const char* env = std::getenv("NEON_THREADS"); env != nullptr && *env != '\0') {
+        threads = std::atoi(env);
+        NEON_CHECK(threads >= 1, "NEON_THREADS must be a positive integer, got '" +
+                                     std::string(env) + "'");
+    }
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (threads < 1) {
+        threads = 1;
+    }
     auto  implPtr = std::make_shared<Impl>();
     Impl& impl = *implPtr;
     impl.spec = std::move(spec);
+    impl.hostThreads = threads;
+    impl.pool = std::make_shared<sys::ThreadPool>(threads);
     if (impl.spec.engine == EngineKind::Sequential) {
         impl.engine = std::make_unique<sys::SequentialEngine>();
     } else {
         impl.engine = std::make_unique<sys::ThreadedEngine>();
     }
+    impl.engine->setHostPool(impl.pool);
     for (int i = 0; i < impl.spec.nDevices; ++i) {
         impl.devices.push_back(
             std::make_unique<sys::Device>(i, impl.spec.deviceType, impl.spec.config));
@@ -244,6 +274,11 @@ bool Backend::isDryRun() const
 Backend::EngineKind Backend::engineKind() const
 {
     return mImpl->spec.engine;
+}
+
+int Backend::hostThreads() const
+{
+    return mImpl->hostThreads;
 }
 
 sys::Stream& Backend::stream(int dev, int streamIdx) const

@@ -43,6 +43,12 @@ struct BackendSpec
     EngineKind      engine = EngineKind::Sequential;
     sys::SimConfig  config = sys::SimConfig::zeroCost();
     std::string     preset = "zeroCost";
+    /// Host worker threads per Backend for CPU-device kernels
+    /// (docs/performance.md, "Host parallelism"). 0 = auto
+    /// (hardware_concurrency). Overridden process-wide by NEON_THREADS.
+    /// Results are bitwise identical for any value — chunking is derived
+    /// from span sizes, never from this.
+    int hostThreads = 0;
     /// Deterministic fault-injection plan installed on the engine at make()
     /// time (docs/robustness.md). Not part of the toString() round-trip.
     sys::FaultPlan faults;
@@ -54,8 +60,16 @@ struct BackendSpec
         return *this;
     }
 
+    /// Fluent setter: spec.withHostThreads(8) — pool width for host kernels.
+    BackendSpec& withHostThreads(int threads)
+    {
+        hostThreads = threads;
+        return *this;
+    }
+
     /// e.g. "SIM_GPU x4 engine=sequential preset=dgxA100". Appends
-    /// " dryRun" when config.dryRun is set.
+    /// " threads=N" when hostThreads is set and " dryRun" when
+    /// config.dryRun is set.
     [[nodiscard]] std::string toString() const;
     /// Parse a toString() result back into a spec (named presets only;
     /// throws NeonException on malformed input or preset "custom").
@@ -97,6 +111,8 @@ class Backend
     [[nodiscard]] const BackendSpec&    spec() const;
     [[nodiscard]] bool         isDryRun() const;
     [[nodiscard]] EngineKind   engineKind() const;
+    /// Resolved host-pool width (NEON_THREADS > spec.hostThreads > auto).
+    [[nodiscard]] int          hostThreads() const;
 
     /// Stream `streamIdx` on device `dev`; created lazily.
     [[nodiscard]] sys::Stream& stream(int dev, int streamIdx = 0) const;

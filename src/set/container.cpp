@@ -91,6 +91,9 @@ const sys::KernelCostHint& Container::costHint() const
 
 size_t Container::items(int dev, DataView view) const
 {
+    if (!mImpl->records.empty()) {
+        return mImpl->recordAt(dev, view).items;
+    }
     return mImpl->itemsFn ? mImpl->itemsFn(dev, view) : 0;
 }
 
@@ -108,6 +111,22 @@ bool Container::isReduce() const
 void Container::launch(int dev, sys::Stream& stream, DataView view) const
 {
     mImpl->ensureParsed();
+    if (!mImpl->records.empty()) {
+        const LaunchRecord& rec = mImpl->recordAt(dev, view);
+        // Empty map views (e.g. BOUNDARY on one device) skip entirely;
+        // reductions always launch so their partial slots are reset every
+        // iteration (stale partials would leak across runs).
+        if (rec.items == 0 && mImpl->combine == nullptr) {
+            return;
+        }
+        sys::KernelOp op;
+        op.name = mImpl->name;
+        op.items = rec.items;
+        op.hint = mImpl->hint;
+        op.work = rec.work;
+        stream.enqueue(std::move(op));
+        return;
+    }
     mImpl->launcher(dev, stream, view, mImpl->hint);
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/types.hpp"
@@ -52,19 +53,36 @@ class Container
             Loader loader = Loader::parsing(&rec);
             (void)fn(loader);
         };
-        c.mImpl->itemsFn = [grid](int dev, DataView view) { return grid.span(dev, view).count(); };
-        c.mImpl->launcher = [grid, fn, name = c.mImpl->name](int dev, sys::Stream& stream,
-                                                             DataView                  view,
-                                                             const sys::KernelCostHint& hint) mutable {
-            auto span = grid.span(dev, view);
-            if (span.count() == 0) {
-                return;  // empty view (e.g. BOUNDARY on a single device)
+        // Devirtualized dispatch: one trampoline per (device, view) is
+        // instantiated NOW, so launch() enqueues a precomputed KernelWork
+        // with zero per-run span/kernel construction and exactly one
+        // indirect call per chunk (docs/performance.md).
+        for (int dev = 0; dev < c.mImpl->devCount; ++dev) {
+            for (const DataView view : kAllViews) {
+                auto   span = grid.span(dev, view);
+                Loader loader = Loader::execution(dev, view);
+                using SpanT = decltype(span);
+                using KernelT = decltype(fn(loader));
+                struct Tramp
+                {
+                    SpanT   sp;
+                    KernelT kernel;
+                    static void run(void* ctx, int32_t chunk, int32_t nChunks)
+                    {
+                        auto* t = static_cast<Tramp*>(ctx);
+                        t->sp.forEachChunk(chunk, nChunks, t->kernel);
+                    }
+                };
+                auto tramp = std::make_shared<Tramp>(Tramp{span, fn(loader)});
+                LaunchRecord rec;
+                rec.items = span.count();
+                rec.work.run = &Tramp::run;
+                rec.work.ctx = tramp.get();
+                rec.work.chunks = span.chunkCount();
+                rec.work.owner = std::move(tramp);
+                c.mImpl->records.push_back(std::move(rec));
             }
-            Loader loader = Loader::execution(dev, view);
-            auto   kernel = fn(loader);
-            stream.kernel(name, span.count(), hint,
-                          [span, kernel]() mutable { span.forEach(kernel); });
-        };
+        }
         return c;
     }
 
@@ -98,24 +116,74 @@ class Container
             out.scalar = true;
             rec.push_back(std::move(out));
         };
-        c.mImpl->itemsFn = [grid](int dev, DataView view) { return grid.span(dev, view).count(); };
-        c.mImpl->launcher = [grid, fn, result, name = c.mImpl->name](
-                                int dev, sys::Stream& stream, DataView view,
-                                const sys::KernelCostHint& hint) mutable {
-            auto span = grid.span(dev, view);
-            Loader loader = Loader::execution(dev, view);
-            auto   kernel = fn(loader);
-            // Always launch (even when empty): the partial slot must be
-            // reset every iteration or stale partials leak across runs.
-            stream.kernel(name, span.count(), hint, [span, kernel, result, dev, view]() mutable {
-                T acc = result.identity();
-                span.forEach([&](const auto& cell) { kernel(cell, acc); });
-                result.setPartial(dev, GlobalScalar<T>::slotOf(view), acc);
-                if (view == DataView::STANDARD) {
-                    result.setPartial(dev, 1, result.identity());
-                }
-            });
-        };
+        // Chunked deterministic reduction: each chunk accumulates into its
+        // own partial slot; finalize folds the partials with a fixed-shape
+        // pairwise tree. The tree shape depends only on the chunk count
+        // (itself span-derived), so the fold order — and the floating-point
+        // result — is identical for any thread count.
+        for (int dev = 0; dev < c.mImpl->devCount; ++dev) {
+            for (const DataView view : kAllViews) {
+                auto   span = grid.span(dev, view);
+                Loader loader = Loader::execution(dev, view);
+                using SpanT = decltype(span);
+                using KernelT = decltype(fn(loader));
+                struct Tramp
+                {
+                    SpanT           sp;
+                    KernelT         kernel;
+                    GlobalScalar<T> out;
+                    int             dev;
+                    DataView        view;
+                    std::vector<T>  partials;  ///< one slot per chunk
+                    std::vector<T>  scratch;   ///< finalize-tree workspace
+                    static void run(void* ctx, int32_t chunk, int32_t nChunks)
+                    {
+                        auto* t = static_cast<Tramp*>(ctx);
+                        T     acc = t->out.identity();
+                        t->sp.forEachChunk(chunk, nChunks,
+                                           [&](const auto& cell) { t->kernel(cell, acc); });
+                        t->partials[static_cast<size_t>(chunk)] = acc;
+                    }
+                    static void finalize(void* ctx, int32_t, int32_t nChunks)
+                    {
+                        auto* t = static_cast<Tramp*>(ctx);
+                        auto& s = t->scratch;
+                        s.assign(t->partials.begin(), t->partials.end());
+                        // Fixed-shape pairwise binary tree over the chunk
+                        // partials; a trailing odd element passes through.
+                        for (int32_t n = nChunks; n > 1;) {
+                            const int32_t pairs = n / 2;
+                            for (int32_t i = 0; i < pairs; ++i) {
+                                T folded = s[static_cast<size_t>(2 * i)];
+                                t->out.fold(folded, s[static_cast<size_t>(2 * i + 1)]);
+                                s[static_cast<size_t>(i)] = folded;
+                            }
+                            if (n % 2 == 1) {
+                                s[static_cast<size_t>(pairs)] = s[static_cast<size_t>(n - 1)];
+                            }
+                            n = pairs + n % 2;
+                        }
+                        t->out.setPartial(t->dev, GlobalScalar<T>::slotOf(t->view), s[0]);
+                        if (t->view == DataView::STANDARD) {
+                            t->out.setPartial(t->dev, 1, t->out.identity());
+                        }
+                    }
+                };
+                const int32_t chunks = span.chunkCount();
+                auto          tramp = std::make_shared<Tramp>(
+                    Tramp{span, fn(loader), result, dev, view,
+                          std::vector<T>(static_cast<size_t>(chunks), result.identity()),
+                          std::vector<T>(static_cast<size_t>(chunks), result.identity())});
+                LaunchRecord rec;
+                rec.items = span.count();
+                rec.work.run = &Tramp::run;
+                rec.work.finalize = &Tramp::finalize;
+                rec.work.ctx = tramp.get();
+                rec.work.chunks = chunks;
+                rec.work.owner = std::move(tramp);
+                c.mImpl->records.push_back(std::move(rec));
+            }
+        }
         // The combine step the Skeleton appends after the reduce kernels.
         Backend backend = grid.backend();
         c.mImpl->combine = std::make_shared<Container>(makeCombine(backend, result));
@@ -216,6 +284,23 @@ class Container
         return c;
     }
 
+    /// Precomputed launch state for one (device, view): item count plus
+    /// the devirtualized kernel work. Built once at factory time, so the
+    /// run hot path is a table lookup + one enqueue.
+    struct LaunchRecord
+    {
+        size_t          items = 0;
+        sys::KernelWork work;
+    };
+
+    /// Records are indexed dev * 3 + viewIndex(view).
+    static constexpr int viewIndex(DataView view)
+    {
+        return view == DataView::STANDARD ? 0 : (view == DataView::INTERNAL ? 1 : 2);
+    }
+    static constexpr DataView kAllViews[3] = {DataView::STANDARD, DataView::INTERNAL,
+                                              DataView::BOUNDARY};
+
     struct Impl
     {
         std::string name;
@@ -224,7 +309,15 @@ class Container
         std::function<void(AccessList&)>                                           parser;
         std::function<size_t(int, DataView)>                                       itemsFn;
         std::function<void(int, sys::Stream&, DataView, const sys::KernelCostHint&)> launcher;
+        /// Compute containers: one record per (device, view); empty for
+        /// halo/scalar containers, which keep the launcher closure.
+        std::vector<LaunchRecord>  records;
         std::shared_ptr<Container> combine;  ///< combine step for reductions
+
+        [[nodiscard]] const LaunchRecord& recordAt(int dev, DataView view) const
+        {
+            return records[static_cast<size_t>(dev * 3 + viewIndex(view))];
+        }
 
         // lazily parsed
         bool                parsed = false;

@@ -272,6 +272,19 @@ void applyOcc(Graph& g, Occ occ, int devCount)
                         // guard against the field's next writer, so both
                         // halves must keep it.
                         g.addEdge(pb, c, k);
+                        // When the halo became the field's last writer it
+                        // subsumed this map's edges to later readers and
+                        // writers of the field. Those consumers stay ordered
+                        // after pb through the halo, but nothing orders them
+                        // after pi — restore that directly (readers need
+                        // pi's internal cells: RaW; rewriters overwrite
+                        // them: WaW).
+                        for (int r : g.dataChildren(c)) {
+                            const EdgeKind rk = g.dataEdgeKind(c, r) == EdgeKind::WaR
+                                                    ? EdgeKind::WaW
+                                                    : EdgeKind::RaW;
+                            g.addEdge(pi, r, rk);
+                        }
                     } else {
                         g.addEdge(pi, c, k);
                         g.addEdge(pb, c, k);

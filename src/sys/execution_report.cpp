@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace neon {
@@ -118,6 +119,7 @@ ExecutionReport ExecutionReport::fromEntries(const std::vector<sys::TraceEntry>&
     std::map<int, std::vector<Interval>>                 transferIv;
     std::map<std::pair<int, int>, std::vector<Interval>> streamIv;
     std::map<std::string, ContainerStats>                byName;
+    std::map<int, std::set<int>>                         poolWorkers;
 
     for (const auto& e : entries) {
         if (e.device < 0) {
@@ -131,6 +133,14 @@ ExecutionReport ExecutionReport::fromEntries(const std::vector<sys::TraceEntry>&
         if (e.kind == "fault") {
             ds.faults += 1;
             ds.faultTime += e.endV - e.startV;
+            continue;
+        }
+        if (e.kind == "hostPool") {
+            // One row per pool worker that ran chunks of a CPU-device
+            // kernel: srcDevice = worker slot, bytes = chunks executed.
+            ds.hostPoolBusy += e.endV - e.startV;
+            ds.hostPoolChunks += e.bytes;
+            poolWorkers[e.device].insert(e.srcDevice);
             continue;
         }
         if (!isWork(e)) {
@@ -155,6 +165,10 @@ ExecutionReport ExecutionReport::fromEntries(const std::vector<sys::TraceEntry>&
             cs.launches += 1;
             cs.kernelTime += e.endV - e.startV;
         }
+    }
+
+    for (auto& [dev, workers] : poolWorkers) {
+        deviceSlot(dev).hostWorkers = static_cast<int>(workers.size());
     }
 
     for (auto& ds : r.mDevices) {
@@ -283,6 +297,15 @@ double ExecutionReport::totalFaultTime() const
     return total;
 }
 
+double ExecutionReport::totalHostPoolBusy() const
+{
+    double total = 0.0;
+    for (const auto& d : mDevices) {
+        total += d.hostPoolBusy;
+    }
+    return total;
+}
+
 std::string ExecutionReport::toString() const
 {
     std::ostringstream os;
@@ -303,6 +326,11 @@ std::string ExecutionReport::toString() const
            << d.transferBusy * 1e6 << " us, overlap " << d.overlap * 1e6 << " us, "
            << d.kernels << " kernels, " << d.transfers << " transfers, " << d.haloBytes
            << " bytes\n";
+        if (d.hostPoolBusy > 0.0 || d.hostPoolChunks > 0) {
+            os << "  dev" << d.device << " host pool: " << d.hostPoolBusy * 1e6
+               << " us busy across " << d.hostWorkers << " workers, " << d.hostPoolChunks
+               << " chunks\n";
+        }
     }
     for (const auto& s : mStreams) {
         os << "  dev" << s.device << "/s" << s.stream << ": busy " << s.busy * 1e6 << " us ("
@@ -342,7 +370,10 @@ std::string ExecutionReport::toJson() const
            << ", \"transferBusy\": " << num(d.transferBusy) << ", \"overlap\": " << num(d.overlap)
            << ", \"waitTime\": " << num(d.waitTime) << ", \"haloBytes\": " << d.haloBytes
            << ", \"kernels\": " << d.kernels << ", \"transfers\": " << d.transfers
-           << ", \"faults\": " << d.faults << ", \"faultTime\": " << num(d.faultTime) << "}";
+           << ", \"faults\": " << d.faults << ", \"faultTime\": " << num(d.faultTime)
+           << ", \"hostPoolBusy\": " << num(d.hostPoolBusy)
+           << ", \"hostPoolChunks\": " << d.hostPoolChunks
+           << ", \"hostWorkers\": " << d.hostWorkers << "}";
     }
     os << "\n  ],\n";
     os << "  \"streams\": [";

@@ -29,6 +29,9 @@ class ExecutionReport
         int      transfers = 0;
         int      faults = 0;          ///< injected fault events (retries, stalls)
         double   faultTime = 0.0;     ///< virtual time lost to faults [s]
+        double   hostPoolBusy = 0.0;  ///< summed host-pool worker busy time [s]
+        uint64_t hostPoolChunks = 0;  ///< span chunks executed by the host pool
+        int      hostWorkers = 0;     ///< distinct pool workers that ran kernels here
     };
 
     struct StreamStats
@@ -76,6 +79,9 @@ class ExecutionReport
     /// window, and the virtual time they consumed (docs/robustness.md).
     [[nodiscard]] int    faultEvents() const;
     [[nodiscard]] double totalFaultTime() const;
+    /// Summed host-pool worker busy time across devices (host-core
+    /// occupancy of CPU-device kernels; 0 without a pool).
+    [[nodiscard]] double totalHostPoolBusy() const;
 
     [[nodiscard]] const std::vector<DeviceStats>&    devices() const { return mDevices; }
     [[nodiscard]] const std::vector<StreamStats>&    streams() const { return mStreams; }

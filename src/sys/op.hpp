@@ -8,8 +8,11 @@
 #include <variant>
 #include <vector>
 
+#include <memory>
+
 #include "sys/cost_model.hpp"
 #include "sys/event.hpp"
+#include "sys/thread_pool.hpp"
 
 namespace neon::sys {
 
@@ -22,13 +25,32 @@ struct OpAttribution
     int runId = -1;
 };
 
-/// A device kernel: `body` performs the real computation (host execution);
-/// the simulated duration comes from `items` and `hint`.
+/// Devirtualized kernel payload: the container factory pre-splits the
+/// launch into a fixed chunk partition (domain::spanChunkCount) and hands
+/// the engine two plain function pointers over an opaque context. The hot
+/// path is exactly one indirect call per chunk — no std::function hops.
+/// `owner` keeps the trampoline context alive if the Container is dropped
+/// while the threaded engine still holds queued ops.
+struct KernelWork
+{
+    ChunkFn run = nullptr;       ///< run(ctx, chunk, chunks): one chunk's cells
+    ChunkFn finalize = nullptr;  ///< optional, after all chunks (reduce tree)
+    void*   ctx = nullptr;
+    int32_t chunks = 0;
+    std::shared_ptr<void> owner;
+
+    [[nodiscard]] explicit operator bool() const { return run != nullptr; }
+};
+
+/// A device kernel: `work` (preferred) or `body` (legacy std::function path
+/// kept for Stream::kernel users) performs the real computation on host
+/// devices; the simulated duration comes from `items` and `hint`.
 struct KernelOp
 {
     std::string           name;
     size_t                items = 0;
     KernelCostHint        hint;
+    KernelWork            work;
     std::function<void()> body;
     OpAttribution         attr;
 };

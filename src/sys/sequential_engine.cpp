@@ -58,8 +58,8 @@ void SequentialEngine::enqueue(Stream& stream, Op op)
         }
         st.vtime = end;
         dev.computeAvailable = end;
-        if (!cfg.dryRun && k->body) {
-            k->body();
+        if (!cfg.dryRun) {
+            runKernelWork(dev, stream.id(), *k, start);
         }
         mTrace.record(dev.id(), stream.id(), TraceKind::Kernel, k->name, start, end, 0,
                     k->attr.containerId, k->attr.runId);

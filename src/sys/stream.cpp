@@ -75,7 +75,12 @@ void Stream::enqueue(Op op)
 
 void Stream::kernel(std::string name, size_t items, KernelCostHint hint, std::function<void()> body)
 {
-    enqueue(KernelOp{std::move(name), items, hint, std::move(body), {}});
+    KernelOp op;
+    op.name = std::move(name);
+    op.items = items;
+    op.hint = hint;
+    op.body = std::move(body);
+    enqueue(std::move(op));
 }
 
 void Stream::transfer(TransferOp op)
@@ -106,6 +111,41 @@ void Stream::sync()
 double Stream::vtime() const
 {
     return mEngine->streamVtime(*this);
+}
+
+// Engine: kernel-body execution ----------------------------------------------
+
+void Engine::runKernelWork(const Device& dev, int streamId, const KernelOp& op, double startV)
+{
+    if (op.work) {
+        // Devirtualized path: one indirect call per chunk. The pool only
+        // pays off for real host computation with multiple chunks; SIM_GPU
+        // devices execute functionally but stay single-threaded so the
+        // cost model's serial-compute assumption remains true.
+        ThreadPool* pool = mHostPool.get();
+        const bool  usePool = pool != nullptr && pool->threadCount() > 1 && op.work.chunks > 1 &&
+                             dev.type() == DeviceType::CPU;
+        if (usePool && mTrace.enabled()) {
+            std::vector<WorkerSample> samples;
+            pool->parallelFor(op.work.chunks, op.work.run, op.work.ctx, &samples);
+            for (const auto& s : samples) {
+                mTrace.record(dev.id(), streamId, TraceKind::HostPool, op.name, startV,
+                              startV + s.busySeconds, static_cast<uint64_t>(s.chunks),
+                              op.attr.containerId, op.attr.runId, 0, s.worker, streamId);
+            }
+        } else if (usePool) {
+            pool->parallelFor(op.work.chunks, op.work.run, op.work.ctx);
+        } else {
+            for (int32_t c = 0; c < op.work.chunks; ++c) {
+                op.work.run(op.work.ctx, c, op.work.chunks);
+            }
+        }
+        if (op.work.finalize != nullptr) {
+            op.work.finalize(op.work.ctx, 0, op.work.chunks);
+        }
+    } else if (op.body) {
+        op.body();
+    }
 }
 
 // Engine: fail-stop abort protocol ------------------------------------------

@@ -12,6 +12,7 @@
 #include "sys/fault.hpp"
 #include "sys/op.hpp"
 #include "sys/schedule_log.hpp"
+#include "sys/thread_pool.hpp"
 #include "sys/trace.hpp"
 
 namespace neon::sys {
@@ -89,6 +90,12 @@ class Engine
     /// Deterministic fault injection (docs/robustness.md; off by default).
     [[nodiscard]] FaultInjector& faults() { return mFaults; }
 
+    /// Install the Backend's shared host worker pool. CPU-device kernels
+    /// with chunked work run through it; SIM_GPU cost accounting never
+    /// touches it. May be null (inline execution).
+    void setHostPool(std::shared_ptr<ThreadPool> pool) { mHostPool = std::move(pool); }
+    [[nodiscard]] const std::shared_ptr<ThreadPool>& hostPool() const { return mHostPool; }
+
     // --- fail-stop abort protocol (docs/robustness.md) --------------------
     // The first RuntimeError raised while processing an op latches the
     // engine into the aborted state: ops already queued drain without
@@ -128,9 +135,17 @@ class Engine
     /// The abort latch, exposed to bounded event waits as a cancel flag.
     [[nodiscard]] const std::atomic<bool>* abortFlag() const { return &mAborted; }
 
+    /// Execute a KernelOp's computation on `dev`. Chunked work on a CPU
+    /// device goes through the host pool (when it helps); everything else
+    /// runs inline. Records TraceKind::HostPool utilization rows anchored
+    /// at `startV` when the trace is enabled. Virtual-clock accounting is
+    /// the caller's job — this only runs the body.
+    void runKernelWork(const Device& dev, int streamId, const KernelOp& op, double startV);
+
     Trace         mTrace;
     ScheduleLog   mScheduleLog;
     FaultInjector mFaults;
+    std::shared_ptr<ThreadPool> mHostPool;
 
    private:
     std::atomic<bool>          mAborted{false};

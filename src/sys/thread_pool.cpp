@@ -1,0 +1,151 @@
+#include "sys/thread_pool.hpp"
+
+#include <chrono>
+
+namespace neon::sys {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double secondsBetween(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+}
+}  // namespace
+
+ThreadPool::ThreadPool(int32_t threads) : mThreads(threads < 1 ? 1 : threads)
+{
+    mSlots.resize(static_cast<size_t>(mThreads));
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mMutex);
+        mStop = true;
+        ++mGeneration;
+    }
+    mCvWork.notify_all();
+    for (auto& t : mWorkers) {
+        t.join();
+    }
+}
+
+void ThreadPool::spawnWorkers()
+{
+    // Caller holds mMutex. Workers occupy slots [1, mThreads); slot 0 is
+    // always the submitting thread.
+    mSpawned = true;
+    mWorkers.reserve(static_cast<size_t>(mThreads - 1));
+    for (int32_t s = 1; s < mThreads; ++s) {
+        mWorkers.emplace_back([this, s] { workerLoop(s); });
+    }
+}
+
+void ThreadPool::runChunks(int32_t slot)
+{
+    auto& mine = mSlots[static_cast<size_t>(slot)];
+    const auto t0 = Clock::now();
+    int32_t    done = 0;
+    try {
+        for (;;) {
+            const int32_t c = mNextChunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= mNChunkTotal) {
+                break;
+            }
+            mFn(mCtx, c, mNChunkTotal);
+            ++done;
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mMutex);
+        if (!mFirstError) {
+            mFirstError = std::current_exception();
+        }
+    }
+    mine.chunks = done;
+    mine.busySeconds = done > 0 ? secondsBetween(t0, Clock::now()) : 0.0;
+}
+
+void ThreadPool::workerLoop(int32_t slot)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mMutex);
+            mCvWork.wait(lock, [&] { return mStop || mGeneration != seen; });
+            if (mStop) {
+                return;
+            }
+            seen = mGeneration;
+        }
+        runChunks(slot);
+        {
+            std::lock_guard<std::mutex> lock(mMutex);
+            --mActive;
+        }
+        mCvDone.notify_one();
+    }
+}
+
+void ThreadPool::parallelFor(int32_t                    nChunks,
+                             ChunkFn                    fn,
+                             void*                      ctx,
+                             std::vector<WorkerSample>* samples)
+{
+    if (nChunks <= 0) {
+        return;
+    }
+    // Inline fast path: nothing to parallelize, or the pool is width-1.
+    // No lock, no wakeup — identical results by the chunking contract.
+    if (mThreads <= 1 || nChunks == 1) {
+        const auto t0 = Clock::now();
+        for (int32_t c = 0; c < nChunks; ++c) {
+            fn(ctx, c, nChunks);
+        }
+        if (samples != nullptr) {
+            samples->push_back({0, nChunks, secondsBetween(t0, Clock::now())});
+        }
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(mSubmitMutex);
+    {
+        std::lock_guard<std::mutex> lock(mMutex);
+        if (!mSpawned) {
+            spawnWorkers();
+        }
+        mFn = fn;
+        mCtx = ctx;
+        mNChunkTotal = nChunks;
+        mNextChunk.store(0, std::memory_order_relaxed);
+        mFirstError = nullptr;
+        for (auto& slot : mSlots) {
+            slot = Slot{};
+        }
+        mActive = mThreads - 1;
+        ++mGeneration;
+    }
+    mCvWork.notify_all();
+
+    runChunks(0);  // the submitting thread is worker 0
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mMutex);
+        mCvDone.wait(lock, [&] { return mActive == 0; });
+        error = mFirstError;
+        if (samples != nullptr) {
+            for (int32_t s = 0; s < mThreads; ++s) {
+                const auto& slot = mSlots[static_cast<size_t>(s)];
+                if (slot.chunks > 0) {
+                    samples->push_back({s, slot.chunks, slot.busySeconds});
+                }
+            }
+        }
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+}  // namespace neon::sys

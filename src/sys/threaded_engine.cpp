@@ -144,8 +144,10 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             state.vtime = end;
             dev.computeAvailable = end;
         }
-        if (!cfg.dryRun && k->body) {
-            k->body();
+        // Body executes outside mClockMutex: real work must not serialize
+        // the other stream workers' clock updates.
+        if (!cfg.dryRun) {
+            runKernelWork(dev, stream.id(), *k, start);
         }
         mTrace.record(dev.id(), stream.id(), TraceKind::Kernel, k->name, start, end, 0,
                     k->attr.containerId, k->attr.runId);

@@ -65,6 +65,9 @@ TraceKind kindFromString(const std::string& kind)
     if (kind == "fault") {
         return TraceKind::Fault;
     }
+    if (kind == "hostPool") {
+        return TraceKind::HostPool;
+    }
     throw NeonException("Trace::add: unknown kind string '" + kind + "'");
 }
 
@@ -74,7 +77,8 @@ constexpr size_t kReserveChunk = 1024;
 
 const std::string& to_string(TraceKind k)
 {
-    static const std::string kNames[] = {"kernel", "transfer", "hostFn", "wait", "fault"};
+    static const std::string kNames[] = {"kernel",  "transfer", "hostFn",
+                                         "wait",    "fault",    "hostPool"};
     return kNames[static_cast<size_t>(k)];
 }
 
@@ -246,8 +250,12 @@ int Trace::nextRunId()
 std::string Trace::gantt(int columns) const
 {
     auto entries = this->entries();
+    // Waits mark idle time and hostPool rows shadow their kernel row —
+    // neither belongs on the device timeline raster.
     entries.erase(std::remove_if(entries.begin(), entries.end(),
-                                 [](const TraceEntry& e) { return e.kind == "wait"; }),
+                                 [](const TraceEntry& e) {
+                                     return e.kind == "wait" || e.kind == "hostPool";
+                                 }),
                   entries.end());
     if (entries.empty()) {
         return "(empty trace)\n";
@@ -305,12 +313,21 @@ std::string Trace::chromeTrace() const
         os << "\n" << event;
     };
 
+    // hostPool rows get their own thread lanes (one per pool worker) so
+    // host-core occupancy shows beside the stream timeline instead of
+    // shadowing the kernel slice. Lane tid = kPoolTidBase + worker slot.
+    constexpr int kPoolTidBase = 1000;
+    auto tidOf = [&](const TraceEntry& e) {
+        return e.kind == "hostPool" ? kPoolTidBase + std::max(e.srcDevice, 0) : e.stream;
+    };
+
     // Metadata: name processes after devices and threads after streams.
     std::map<int, std::vector<int>> rows;
     for (const auto& e : entries) {
         auto& streams = rows[e.device];
-        if (std::find(streams.begin(), streams.end(), e.stream) == streams.end()) {
-            streams.push_back(e.stream);
+        const int tid = tidOf(e);
+        if (std::find(streams.begin(), streams.end(), tid) == streams.end()) {
+            streams.push_back(tid);
         }
     }
     for (const auto& [dev, streams] : rows) {
@@ -321,7 +338,13 @@ std::string Trace::chromeTrace() const
         for (const int s : streams) {
             std::ostringstream t;
             t << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << dev << ",\"tid\":" << s
-              << ",\"args\":{\"name\":\"stream" << s << "\"}}";
+              << ",\"args\":{\"name\":\"";
+            if (s >= kPoolTidBase) {
+                t << "hostWorker" << (s - kPoolTidBase);
+            } else {
+                t << "stream" << s;
+            }
+            t << "\"}}";
             emit(t.str());
         }
     }
@@ -330,10 +353,12 @@ std::string Trace::chromeTrace() const
         std::ostringstream ev;
         ev << "{\"ph\":\"X\",\"name\":\"" << jsonEscape(e.name.empty() ? e.kind : e.name)
            << "\",\"cat\":\"" << jsonEscape(e.kind) << "\",\"pid\":" << e.device
-           << ",\"tid\":" << e.stream << ",\"ts\":" << usFmt(e.startV)
+           << ",\"tid\":" << tidOf(e) << ",\"ts\":" << usFmt(e.startV)
            << ",\"dur\":" << usFmt(std::max(0.0, e.endV - e.startV)) << ",\"args\":{";
         ev << "\"container\":" << e.containerId << ",\"run\":" << e.runId;
-        if (e.bytes > 0) {
+        if (e.kind == "hostPool") {
+            ev << ",\"worker\":" << e.srcDevice << ",\"chunks\":" << e.bytes;
+        } else if (e.bytes > 0) {
             ev << ",\"bytes\":" << e.bytes;
         }
         ev << "}}";

@@ -31,6 +31,7 @@ enum class TraceKind : uint8_t
     HostFn,
     Wait,
     Fault,
+    HostPool,  ///< one pool worker's share of a CPU kernel ("hostPool")
 };
 
 const std::string& to_string(TraceKind k);
@@ -39,17 +40,17 @@ struct TraceEntry
 {
     int         device = 0;
     int         stream = 0;
-    std::string kind;  ///< "kernel" | "transfer" | "hostFn" | "wait" | "fault"
+    std::string kind;  ///< "kernel" | "transfer" | "hostFn" | "wait" | "fault" | "hostPool"
     std::string name;
     double      startV = 0.0;
     double      endV = 0.0;
     // Structured metadata (defaulted so the historical six-field aggregate
     // initialization keeps compiling).
-    uint64_t bytes = 0;        ///< transfer payload (kind == "transfer")
+    uint64_t bytes = 0;        ///< transfer payload; "hostPool": chunks executed
     int      containerId = -1; ///< skeleton graph-node id, -1 outside a skeleton
     int      runId = -1;       ///< skeleton run() window id, -1 outside a skeleton
     uint64_t waitEventId = 0;  ///< kind == "wait": id of the awaited event
-    int      srcDevice = -1;   ///< kind == "wait": where the event was recorded
+    int      srcDevice = -1;   ///< "wait": recording device; "hostPool": worker slot
     int      srcStream = -1;
 };
 

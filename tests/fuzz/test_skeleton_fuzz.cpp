@@ -55,6 +55,7 @@ struct FuzzCase
     int      nFields = 2;
     int      maxStreams = 1;
     int      runs = 1;
+    int      hostThreads = 1;  ///< host-pool width (NEON_THREADS overrides)
     Occ      occ = Occ::NONE;
     struct OpDesc
     {
@@ -75,6 +76,8 @@ struct FuzzCase
         nFields = pick(2, 4);
         maxStreams = pick(1, 8);
         runs = pick(1, 3);
+        constexpr int kThreadAxis[] = {1, 2, 3, 8};
+        hostThreads = kThreadAxis[pick(0, 3)];
         constexpr Occ kOccs[] = {Occ::NONE, Occ::STANDARD, Occ::EXTENDED, Occ::TWO_WAY};
         occ = kOccs[pick(0, 3)];
         const int length = pick(3, 9);
@@ -97,7 +100,9 @@ struct FuzzCase
                           std::to_string(dim.z) + " nDev=" + std::to_string(nDev) +
                           " nFields=" + std::to_string(nFields) +
                           " maxStreams=" + std::to_string(maxStreams) +
-                          " runs=" + std::to_string(runs) + " occ=" + neon::to_string(occ) +
+                          " runs=" + std::to_string(runs) +
+                          " hostThreads=" + std::to_string(hostThreads) +
+                          " occ=" + neon::to_string(occ) +
                           " ops=[";
         for (size_t i = 0; i < ops.size(); ++i) {
             out += std::string(i > 0 ? " " : "") + kOpNames[ops[i].op] + "(f" +
@@ -126,7 +131,8 @@ struct ExecMode
 
 Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& mode)
 {
-    Backend backend(fc.nDev, sys::DeviceType::CPU, sys::SimConfig::zeroCost(), kind);
+    set::BackendSpec spec = set::BackendSpec::cpu(fc.nDev, kind).withHostThreads(fc.hostThreads);
+    Backend          backend = Backend::make(spec);
     auto    analyzer = backend.analysis();
     analyzer.enable();
     if (mode.faultSeed != 0) {
@@ -275,6 +281,15 @@ void runSeed(unsigned seed)
     expectBitwiseEqual(seqSnap, primeSnap, "compile(cache-on)", seed);
     expectBitwiseEqual(seqSnap, replaySnap, "cache replay", seed);
     expectBitwiseEqual(seqSnap, thrSnap, "threaded", seed);
+
+    // Host-pool determinism: a different pool width must not change a bit
+    // (the chunk partition is span-derived, never thread-derived). A set
+    // NEON_THREADS collapses both runs to the same width — trivially equal.
+    FuzzCase alt = fc;
+    alt.hostThreads = fc.hostThreads == 1 ? 4 : 1;
+    const Snapshot poolSnap =
+        execute(alt, Backend::EngineKind::Threaded, ExecMode{true, true, false, 0});
+    expectBitwiseEqual(seqSnap, poolSnap, "host-pool width", seed);
 
     // Fault-ordinal equality: decisions are a pure function of the plan
     // seed and each op's (device, stream, kind, per-stream ordinal, run),

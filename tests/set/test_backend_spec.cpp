@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/error.hpp"
 #include "set/backend.hpp"
 
@@ -63,6 +65,40 @@ TEST(BackendSpec, WrappersMatchSpecFactories)
     EXPECT_EQ(g.spec().deviceType, sys::DeviceType::SIM_GPU);
     Backend c = Backend::cpu(1);
     EXPECT_EQ(c.spec().deviceType, sys::DeviceType::CPU);
+}
+
+TEST(BackendSpec, HostThreadsRoundTripsThroughToString)
+{
+    const BackendSpec spec = BackendSpec::cpu(2).withHostThreads(8);
+    const std::string text = spec.toString();
+    EXPECT_NE(text.find("threads=8"), std::string::npos) << text;
+    const BackendSpec back = BackendSpec::fromString(text);
+    EXPECT_EQ(back.hostThreads, 8);
+    EXPECT_EQ(back.toString(), text);
+    // Default (auto) width stays out of the string.
+    EXPECT_EQ(BackendSpec::cpu(1).toString().find("threads="), std::string::npos);
+}
+
+TEST(BackendSpec, HostThreadsResolution)
+{
+    unsetenv("NEON_THREADS");
+    // Explicit spec value wins over auto.
+    Backend pinned = Backend::make(BackendSpec::cpu(1).withHostThreads(3));
+    EXPECT_EQ(pinned.hostThreads(), 3);
+    // Auto resolves to at least one thread.
+    Backend fromAuto = Backend::make(BackendSpec::cpu(1));
+    EXPECT_GE(fromAuto.hostThreads(), 1);
+    // NEON_THREADS overrides the spec (same convention as NEON_ENGINE).
+    setenv("NEON_THREADS", "5", 1);
+    Backend fromEnv = Backend::make(BackendSpec::cpu(1).withHostThreads(3));
+    unsetenv("NEON_THREADS");
+    EXPECT_EQ(fromEnv.hostThreads(), 5);
+}
+
+TEST(BackendSpec, FromStringRejectsBadThreadCount)
+{
+    EXPECT_THROW(BackendSpec::fromString("CPU x1 engine=sequential preset=zeroCost threads=0"),
+                 NeonException);
 }
 
 TEST(BackendSpec, FromStringRejectsGarbage)

@@ -1,0 +1,163 @@
+// sys::ThreadPool + the domain::Span chunk partition rule: the pool only
+// decides WHICH thread runs a chunk, never WHAT a chunk contains, so the
+// tests here pin down (a) the purity of the chunk rule, (b) every-chunk-
+// exactly-once execution for any pool width, (c) exception propagation,
+// (d) worker utilization samples, and (e) pool reuse across many jobs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "domain/span.hpp"
+#include "sys/thread_pool.hpp"
+
+namespace neon::sys {
+namespace {
+
+/// Test decoder: a slot expands to its own index (one cell per slot).
+struct IotaDecoder
+{
+    template <typename Fn>
+    void forEachInSlot(int32_t s, Fn&& fn) const
+    {
+        fn(s);
+    }
+};
+
+TEST(SpanChunkRule, PureFunctionOfSpanNotThreads)
+{
+    using domain::spanChunkCount;
+    // Small spans collapse to one chunk.
+    EXPECT_EQ(spanChunkCount(0, 0), 1);
+    EXPECT_EQ(spanChunkCount(domain::kSpanChunkCells - 1, 100), 1);
+    // Chunks grow with cells...
+    EXPECT_EQ(spanChunkCount(2 * domain::kSpanChunkCells, 100), 2);
+    // ...cap at kSpanMaxChunks...
+    EXPECT_EQ(spanChunkCount(size_t{1} << 30, 1 << 20), domain::kSpanMaxChunks);
+    // ...and never exceed the slot count.
+    EXPECT_EQ(spanChunkCount(size_t{1} << 30, 3), 3);
+}
+
+TEST(SpanChunkRule, ChunksPartitionTheForEachOrder)
+{
+    // Two disjoint slot ranges, as a BOUNDARY span would have.
+    const domain::Span<IotaDecoder> span(IotaDecoder{}, 14, {0, 5}, {100, 9});
+    std::vector<int32_t>            whole;
+    span.forEach([&](int32_t s) { whole.push_back(s); });
+    ASSERT_EQ(whole.size(), 14u);
+
+    for (const int32_t n : {1, 2, 3, 7, 14}) {
+        std::vector<int32_t> pieced;
+        for (int32_t c = 0; c < n; ++c) {
+            span.forEachChunk(c, n, [&](int32_t s) { pieced.push_back(s); });
+        }
+        EXPECT_EQ(pieced, whole) << "partition into " << n << " chunks lost or reordered cells";
+    }
+}
+
+struct CountCtx
+{
+    std::vector<std::atomic<int32_t>> hits;
+
+    explicit CountCtx(size_t n) : hits(n) {}
+
+    static void run(void* ctx, int32_t chunk, int32_t /*nChunks*/)
+    {
+        auto* c = static_cast<CountCtx*>(ctx);
+        c->hits[static_cast<size_t>(chunk)].fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+TEST(ThreadPool, EveryChunkRunsExactlyOnceForAnyWidth)
+{
+    for (const int32_t width : {1, 2, 4, 8}) {
+        ThreadPool pool(width);
+        CountCtx   ctx(37);
+        pool.parallelFor(37, &CountCtx::run, &ctx);
+        for (size_t i = 0; i < ctx.hits.size(); ++i) {
+            EXPECT_EQ(ctx.hits[i].load(), 1)
+                << "chunk " << i << " at width " << width;
+        }
+    }
+}
+
+struct TidCtx
+{
+    std::vector<std::thread::id> tids{std::vector<std::thread::id>(8)};
+
+    static void run(void* ctx, int32_t chunk, int32_t /*nChunks*/)
+    {
+        static_cast<TidCtx*>(ctx)->tids[static_cast<size_t>(chunk)] = std::this_thread::get_id();
+    }
+};
+
+TEST(ThreadPool, WidthOneRunsInlineOnTheSubmitter)
+{
+    ThreadPool pool(1);
+    TidCtx     ctx;
+    pool.parallelFor(8, &TidCtx::run, &ctx);
+    for (const auto& tid : ctx.tids) {
+        EXPECT_EQ(tid, std::this_thread::get_id());
+    }
+}
+
+struct ThrowCtx
+{
+    static void run(void* /*ctx*/, int32_t chunk, int32_t /*nChunks*/)
+    {
+        if (chunk == 5) {
+            throw std::runtime_error("chunk 5 failed");
+        }
+    }
+};
+
+TEST(ThreadPool, FirstChunkExceptionIsRethrownAfterDraining)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(16, &ThrowCtx::run, nullptr), std::runtime_error);
+    // The pool survives a throwing job.
+    CountCtx ctx(4);
+    pool.parallelFor(4, &CountCtx::run, &ctx);
+    for (size_t i = 0; i < ctx.hits.size(); ++i) {
+        EXPECT_EQ(ctx.hits[i].load(), 1);
+    }
+}
+
+TEST(ThreadPool, SamplesAccountForEveryChunk)
+{
+    ThreadPool                pool(4);
+    CountCtx                  ctx(23);
+    std::vector<WorkerSample> samples;
+    pool.parallelFor(23, &CountCtx::run, &ctx, &samples);
+    ASSERT_FALSE(samples.empty());
+    int32_t total = 0;
+    for (const auto& s : samples) {
+        EXPECT_GE(s.worker, 0);
+        EXPECT_LT(s.worker, 4);
+        EXPECT_GT(s.chunks, 0);
+        EXPECT_GE(s.busySeconds, 0.0);
+        total += s.chunks;
+    }
+    EXPECT_EQ(total, 23);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(3);
+    for (int job = 0; job < 100; ++job) {
+        const int32_t n = 1 + (job % 11);
+        CountCtx      ctx(static_cast<size_t>(n));
+        pool.parallelFor(n, &CountCtx::run, &ctx);
+        for (int32_t i = 0; i < n; ++i) {
+            ASSERT_EQ(ctx.hits[static_cast<size_t>(i)].load(), 1)
+                << "job " << job << " chunk " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace neon::sys

@@ -9,12 +9,14 @@ Two schemas are understood:
   (docs/observability.md): the overlap/halo/critical-path aggregates plus
   per-device, per-stream and per-container breakdowns.
 * The runtime-overhead report from bench_overhead
-  (docs/performance.md, "bench": "overhead"): enqueue cost plus
-  compile-vs-cached sequence() timings. The machine-independent gate is
-  speedup >= 10 (a cached sequence() must replay, not recompile). With
-  --overhead-baseline, the cached-path wall cost is additionally gated at
-  2x the committed baseline, so a hot-path regression fails CI even when
-  the compile path regresses by the same factor.
+  (docs/performance.md, "bench": "overhead"): enqueue cost,
+  compile-vs-cached sequence() timings, and CPU-device kernel dispatch
+  (ns per cell through the devirtualized trampoline path at one host
+  thread). The machine-independent gate is speedup >= 10 (a cached
+  sequence() must replay, not recompile). With --overhead-baseline, the
+  cached-path wall cost and the dispatch ns_per_cell are additionally
+  gated at 2x the committed baseline, so a hot-path regression fails CI
+  even when the compile path regresses by the same factor.
 
 Exit status is nonzero on the first missing or malformed report, so CI
 fails when a bench stops writing its payload.
@@ -41,6 +43,7 @@ DEVICE_KEYS = ["device", "computeBusy", "transferBusy", "overlap", "haloBytes"]
 
 OVERHEAD_ENQUEUE_KEYS = ["ops_per_run", "runs_measured", "ns_per_op"]
 OVERHEAD_SEQUENCE_KEYS = ["repeats", "compile_ns", "cached_ns", "speedup", "cache_hits"]
+OVERHEAD_DISPATCH_KEYS = ["cells", "runs_measured", "ns_per_cell"]
 
 # A cached sequence() is a recipe replay; anything under this factor means
 # it is recompiling (or the cache stopped hitting).
@@ -91,6 +94,7 @@ def check_overhead_report(path: str, report: dict, baseline_path: str | None) ->
     errors = []
     enqueue = report.get("enqueue")
     sequence = report.get("sequence")
+    dispatch = report.get("dispatch")
     if not isinstance(enqueue, dict):
         errors.append(f"{path}: missing 'enqueue' section")
     else:
@@ -103,11 +107,19 @@ def check_overhead_report(path: str, report: dict, baseline_path: str | None) ->
         for key in OVERHEAD_SEQUENCE_KEYS:
             if key not in sequence:
                 errors.append(f"{path}: sequence section missing '{key}'")
+    if not isinstance(dispatch, dict):
+        errors.append(f"{path}: missing 'dispatch' section")
+    else:
+        for key in OVERHEAD_DISPATCH_KEYS:
+            if key not in dispatch:
+                errors.append(f"{path}: dispatch section missing '{key}'")
     if errors:
         return errors
 
     if enqueue["ns_per_op"] <= 0:
         errors.append(f"{path}: non-positive ns_per_op")
+    if dispatch["ns_per_cell"] <= 0 or dispatch["cells"] <= 0:
+        errors.append(f"{path}: non-positive dispatch metrics")
     if sequence["cached_ns"] <= 0 or sequence["compile_ns"] <= 0:
         errors.append(f"{path}: non-positive sequence timings")
     if sequence["cache_hits"] != sequence["repeats"]:
@@ -132,6 +144,15 @@ def check_overhead_report(path: str, report: dict, baseline_path: str | None) ->
             errors.append(
                 f"{path}: cached sequence() cost {sequence['cached_ns']:.0f} ns exceeds "
                 f"{BASELINE_SLACK:.0f}x baseline ({base_cached:.0f} ns from {baseline_path})"
+            )
+        base_dispatch = baseline.get("dispatch", {}).get("ns_per_cell")
+        if base_dispatch is None:
+            errors.append(f"{baseline_path}: baseline missing dispatch.ns_per_cell")
+        elif dispatch["ns_per_cell"] > BASELINE_SLACK * base_dispatch:
+            errors.append(
+                f"{path}: dispatch cost {dispatch['ns_per_cell']:.2f} ns/cell exceeds "
+                f"{BASELINE_SLACK:.0f}x baseline ({base_dispatch:.2f} ns/cell from "
+                f"{baseline_path})"
             )
     return errors
 
