@@ -1,0 +1,138 @@
+#pragma once
+// neon::service — a multi-tenant front door for one Backend
+// (docs/service.md).
+//
+// Many independent jobs (each a container sequence, i.e. exactly what
+// Skeleton::sequence takes) are submitted concurrently onto a single
+// device pool. The service provides what a bare Skeleton does not:
+//
+//   * admission control — a cap on in-flight jobs plus optional per-tenant
+//     quotas; over-quota submissions are refused with an attributed
+//     RuntimeError (Kind::AdmissionRejected, jobId + tenant filled in),
+//   * scheduling policy — FIFO (global submission order) or fair-share
+//     (least-served tenant first, weighted by dispatched work),
+//   * stream arbitration — every dispatched job leases a disjoint block of
+//     backend streams (Backend::leaseStreams), so jobs with disjoint field
+//     sets overlap on the device pool while the per-uid data chains
+//     (Backend::dataBarriers) still serialize jobs that share fields,
+//   * batching — consecutive policy-order jobs with identical structural
+//     schedule hashes (schedule-cache keys, computed at submit without
+//     compiling) share one stream lease, amortizing stream pressure.
+//
+// Time is the backend's virtual clock. The service clock advances on
+// submit (to the job's arrival stamp) and inside drain()/wait() (to the
+// next arrival or completion event), discrete-event style, so a whole
+// traffic replay is deterministic for a fixed seed on both engines.
+//
+// Threading contract: the engines accept host enqueues from one thread at
+// a time, so Service is itself single-threaded — one thread calls
+// submit()/drain()/wait(). A mutex serializes the public methods to make
+// accidental cross-thread use fail safe rather than corrupt state.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/job.hpp"
+#include "set/backend.hpp"
+
+namespace neon::service {
+
+enum class Policy : uint8_t
+{
+    Fifo,       ///< dispatch in global submission order
+    FairShare,  ///< least-served tenant first (by dispatched work weight)
+};
+
+std::string to_string(Policy p);
+
+struct ServiceConfig
+{
+    Policy policy = Policy::Fifo;
+    /// Dispatch-slot cap, counted in stream leases: at most this many
+    /// dispatch groups (a batch shares one lease and counts once) are in
+    /// flight at a time. 1 with batching off reproduces the serialized
+    /// FIFO-of-one baseline.
+    int maxInFlight = 4;
+    /// Per-tenant admission quota over queued + in-flight jobs; 0 = no
+    /// quota. Submissions beyond it throw Kind::AdmissionRejected.
+    int tenantQuota = 0;
+    /// Batch structurally-identical consecutive jobs onto one lease.
+    bool batching = true;
+    int  maxBatch = 4;
+    /// Debug: drop the per-uid data chains between jobs (RunScope
+    /// chainData=false). Only for race-detector tests that want the
+    /// unordered behavior on purpose.
+    bool chainData = true;
+
+    ServiceConfig& withPolicy(Policy p)
+    {
+        policy = p;
+        return *this;
+    }
+    ServiceConfig& withMaxInFlight(int n)
+    {
+        maxInFlight = n;
+        return *this;
+    }
+    ServiceConfig& withTenantQuota(int n)
+    {
+        tenantQuota = n;
+        return *this;
+    }
+    ServiceConfig& withBatching(bool on, int cap = 4)
+    {
+        batching = on;
+        maxBatch = cap;
+        return *this;
+    }
+    ServiceConfig& withChainData(bool on)
+    {
+        chainData = on;
+        return *this;
+    }
+};
+
+class Service
+{
+   public:
+    /// Opaque service state (defined in service.cpp).
+    struct Impl;
+
+    explicit Service(set::Backend backend, ServiceConfig config = {});
+
+    /// Admit a job. Advances the service clock to the job's arrival,
+    /// retires any in-flight jobs that completed by then, and dispatches
+    /// while slots are free. Throws RuntimeError(Kind::AdmissionRejected)
+    /// with jobId/tenant attribution when the tenant's quota is exhausted;
+    /// the request is not enqueued in that case.
+    Job submit(JobRequest request);
+
+    /// Run the discrete-event loop until every admitted job completed or
+    /// failed, then sync the backend (surfacing any late engine abort as
+    /// the owning job's failure, not an exception here).
+    void drain();
+
+    /// drain() until this one job is done (other jobs make progress too,
+    /// as required to free slots).
+    void wait(const Job& job);
+
+    // --- introspection ------------------------------------------------------
+    [[nodiscard]] double now() const;  ///< service virtual clock
+    [[nodiscard]] const ServiceConfig& config() const;
+    [[nodiscard]] set::Backend&        backend();
+    /// Every job ever admitted, in submission order.
+    [[nodiscard]] std::vector<Job> jobs() const;
+    [[nodiscard]] int queuedCount() const;
+    [[nodiscard]] int inFlightCount() const;
+    [[nodiscard]] int completedCount() const;
+    [[nodiscard]] int failedCount() const;
+    /// Multi-member batches formed so far.
+    [[nodiscard]] int batchCount() const;
+
+   private:
+    std::shared_ptr<Impl> mImpl;
+};
+
+}  // namespace neon::service

@@ -1,0 +1,110 @@
+#pragma once
+// Synthetic multi-tenant traffic for the neon::service layer
+// (docs/service.md).
+//
+// A TrafficSpec seeds a deterministic trace of JobDescs — Poisson
+// arrivals, tenant assignment, workload kind (LBM-like stencil ping-pong,
+// Poisson-like Jacobi + residual reduction, FEM-like assembly mix), grid
+// shape and run count. buildJob() materializes one JobDesc on any Backend,
+// returning both the JobRequest (for Service::submit) and handles onto the
+// job's fields/scalars so tests can snapshot results bitwise: the same
+// JobDesc built on a fresh solo backend is the isolation oracle.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dgrid/dfield.hpp"
+#include "service/job.hpp"
+#include "set/backend.hpp"
+
+namespace neon::service {
+
+enum class WorkloadKind : uint8_t
+{
+    Lbm,      ///< stencil ping-pong between two fields (PR-2 LBM shape)
+    Poisson,  ///< Jacobi sweeps + a dot-product residual
+    Fem,      ///< map + stencil + dot + host scalar op
+};
+
+std::string to_string(WorkloadKind k);
+
+/// Everything one replayed job is, derived deterministically from the
+/// trace seed: build the same desc on any backend and the containers are
+/// structurally identical (same schedule-cache key for equal dim/devCount).
+struct JobDesc
+{
+    int          index = 0;  ///< ordinal in the trace (submission order)
+    WorkloadKind kind = WorkloadKind::Lbm;
+    std::string  tenant = "t0";
+    double       arrival = 0.0;  ///< virtual seconds
+    index_3d     dim{4, 4, 8};
+    int          runs = 1;
+    unsigned     seed = 0;  ///< per-job field-init seed
+
+    [[nodiscard]] std::string toString() const;
+};
+
+struct TrafficSpec
+{
+    unsigned seed = 1;
+    int      jobs = 100;
+    int      tenants = 4;
+    /// Mean of the exponential inter-arrival gap (Poisson process),
+    /// virtual seconds.
+    double meanGap = 2.0e-4;
+    int    maxRuns = 2;
+
+    TrafficSpec& withSeed(unsigned s)
+    {
+        seed = s;
+        return *this;
+    }
+    TrafficSpec& withJobs(int n)
+    {
+        jobs = n;
+        return *this;
+    }
+    TrafficSpec& withTenants(int n)
+    {
+        tenants = n;
+        return *this;
+    }
+    TrafficSpec& withMeanGap(double g)
+    {
+        meanGap = g;
+        return *this;
+    }
+    TrafficSpec& withMaxRuns(int n)
+    {
+        maxRuns = n;
+        return *this;
+    }
+};
+
+/// Deterministic trace: `spec.jobs` descs with non-decreasing arrivals.
+std::vector<JobDesc> makeTrace(const TrafficSpec& spec);
+
+/// One materialized job: the submit-ready request plus live handles onto
+/// the data it computes on, for bitwise result snapshots.
+struct BuiltJob
+{
+    JobDesc                                desc;
+    JobRequest                             request;
+    std::vector<dgrid::DField<double>>     fields;
+    std::vector<set::GlobalScalar<double>> scalars;
+    /// Keeps the job's grid alive for the lifetime of the handles above.
+    std::shared_ptr<void> grid;
+};
+
+/// Materialize `desc` on `backend`: fresh fields (seeded init), fresh
+/// scalars, and the workload's container sequence.
+BuiltJob buildJob(const set::Backend& backend, const JobDesc& desc);
+
+/// updateHost() every field and flatten fields + scalars into one vector
+/// for bitwise comparison against a solo-run oracle.
+std::vector<double> snapshot(BuiltJob& job);
+
+}  // namespace neon::service

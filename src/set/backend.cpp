@@ -154,10 +154,11 @@ struct Backend::Impl
     // streams[dev][idx], lazily grown
     mutable std::mutex                                      streamMutex;
     mutable std::vector<std::vector<std::unique_ptr<sys::Stream>>> streams;
-    // Tail barrier of the most recent Skeleton run (inter-run dependency
-    // chain shared by every skeleton on this backend).
-    mutable std::mutex    barrierMutex;
-    mutable sys::EventPtr runBarrier;
+    // Per-uid inter-run event chains (see sys/data_barriers.hpp).
+    mutable sys::DataBarriers dataBarriers;
+    // Stream-index leases: sorted disjoint [base, base+count) blocks.
+    mutable std::mutex                       leaseMutex;
+    mutable std::vector<std::pair<int, int>> leases;
 
     ~Impl()
     {
@@ -309,16 +310,40 @@ sys::FaultInjector& Backend::faults() const
     return mImpl->engine->faults();
 }
 
-sys::EventPtr Backend::runBarrier() const
+sys::DataBarriers& Backend::dataBarriers() const
 {
-    std::lock_guard<std::mutex> lock(mImpl->barrierMutex);
-    return mImpl->runBarrier;
+    return mImpl->dataBarriers;
 }
 
-void Backend::setRunBarrier(sys::EventPtr barrier) const
+int Backend::leaseStreams(int count) const
 {
-    std::lock_guard<std::mutex> lock(mImpl->barrierMutex);
-    mImpl->runBarrier = std::move(barrier);
+    NEON_CHECK(count >= 1, "Backend::leaseStreams: count must be >= 1");
+    std::lock_guard<std::mutex> lock(mImpl->leaseMutex);
+    auto& leases = mImpl->leases;
+    int   base = 0;
+    for (size_t i = 0;; ++i) {
+        const bool atEnd = i >= leases.size();
+        const int  nextBase = atEnd ? base + count : leases[i].first;
+        if (nextBase - base >= count) {
+            leases.insert(leases.begin() + static_cast<std::ptrdiff_t>(i), {base, count});
+            return base;
+        }
+        base = leases[i].first + leases[i].second;
+    }
+}
+
+void Backend::releaseStreams(int base, int count) const
+{
+    std::lock_guard<std::mutex> lock(mImpl->leaseMutex);
+    auto& leases = mImpl->leases;
+    for (size_t i = 0; i < leases.size(); ++i) {
+        if (leases[i].first == base && leases[i].second == count) {
+            leases.erase(leases.begin() + static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+    throw NeonException("Backend::releaseStreams: no lease [" + std::to_string(base) + ", " +
+                        std::to_string(base + count) + ") is outstanding");
 }
 
 double Backend::makespanNow() const
@@ -329,6 +354,9 @@ double Backend::makespanNow() const
 void Backend::resetClocks() const
 {
     mImpl->engine->resetClocks();
+    // Chained tail events carry vtime stamps from the old timeline; waiting
+    // on them after a reset would fast-forward the fresh clocks.
+    mImpl->dataBarriers.clear();
 }
 
 sys::Trace& Backend::traceRef() const

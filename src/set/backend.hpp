@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sys/cost_model.hpp"
+#include "sys/data_barriers.hpp"
 #include "sys/fault.hpp"
 #include "sys/stream.hpp"
 
@@ -124,14 +125,22 @@ class Backend
     /// The engine's fault injector (install/replace a plan at runtime).
     [[nodiscard]] sys::FaultInjector& faults() const;
 
-    /// Tail barrier of the most recent Skeleton run on this backend (null
-    /// before the first run). Backend-wide, not per-skeleton: successive
-    /// runs reuse the same fields regardless of which Skeleton object
-    /// issued them, so run N+1 must wait on run N's tail even when the
-    /// two runs come from different skeletons (e.g. even/odd LBM steps).
-    [[nodiscard]] sys::EventPtr runBarrier() const;
-    /// Publish the tail barrier the next run must wait on.
-    void setRunBarrier(sys::EventPtr barrier) const;
+    /// Per-data-object inter-run event chains. Successive skeleton runs
+    /// that touch the same fields are ordered through these chains
+    /// regardless of which Skeleton object issued them (e.g. even/odd LBM
+    /// steps), while runs over disjoint field sets share no events and
+    /// overlap freely — the basis of the multi-tenant service
+    /// (docs/service.md). Replaces the historical single backend-wide
+    /// run barrier.
+    [[nodiscard]] sys::DataBarriers& dataBarriers() const;
+
+    /// Lease a contiguous block of `count` stream indices (first-fit over
+    /// released blocks) so concurrent jobs enqueue onto disjoint streams.
+    /// Returns the base index; pass it as RunScope::streamBase.
+    [[nodiscard]] int leaseStreams(int count) const;
+    /// Return a lease obtained from leaseStreams (the stream objects
+    /// themselves persist — only the reservation is released).
+    void releaseStreams(int base, int count) const;
 
     /// Zero all virtual clocks (between measured benchmark runs).
     void resetClocks() const;

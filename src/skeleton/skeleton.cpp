@@ -484,6 +484,11 @@ struct Skeleton::ScheduleState
     int               levelCount = 0;
     uint64_t          hash = 0;
     bool              cacheHit = false;
+    /// Sorted, deduplicated data-object uids the sequence reads / writes
+    /// (from the user containers' access records; halo nodes operate on the
+    /// same uids). Drives the per-uid inter-run chains in runBody.
+    std::vector<uint64_t> readUids;
+    std::vector<uint64_t> writeUids;
     /// Raw stream pointers, indexed [dev * nStreams + stream] (see
     /// prefetchStreams): the run hot loop must not take the backend's
     /// stream-map mutex per task per device.
@@ -503,9 +508,11 @@ struct Skeleton::Impl
     int  windowLast = -1;
     bool windowClosed = true;
     /// Fault injection (tests/analysis): chain runs through a skeleton-local
-    /// barrier instead of the backend-wide one.
+    /// barrier instead of the backend's per-uid data chains.
     bool          perSkeletonBarrier = false;
     sys::EventPtr localBarrier;
+    /// Tail barrier of the most recent run issued through this skeleton.
+    sys::EventPtr lastTail;
 };
 
 struct CompiledSchedule::Impl
@@ -564,6 +571,19 @@ CompiledSchedule Skeleton::sequence(std::vector<set::Container> containers,
     auto state = std::make_shared<ScheduleState>();
     state->name = options.name;
     state->options = options;
+
+    // Read/write uid sets for the per-uid inter-run chains. Collected from
+    // the user containers (cache-hit or not): halo/combine nodes the
+    // pipeline adds touch the same uids.
+    for (const auto& c : containers) {
+        for (const auto& a : c.accesses()) {
+            (a.access == Access::WRITE ? state->writeUids : state->readUids).push_back(a.uid);
+        }
+    }
+    for (auto* uids : {&state->readUids, &state->writeUids}) {
+        std::sort(uids->begin(), uids->end());
+        uids->erase(std::unique(uids->begin(), uids->end()), uids->end());
+    }
 
     const ScheduleKey key = makeScheduleKey(containers, nDev, options.occ, options.maxStreams);
     state->hash = key.hash;
@@ -662,8 +682,14 @@ void Skeleton::debugUsePerSkeletonBarrier(bool on)
 
 void Skeleton::run()
 {
+    run(RunScope{});
+}
+
+void Skeleton::run(const RunScope& scope)
+{
     Impl& s = *mImpl;
     NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before run()");
+    NEON_CHECK(scope.streamBase >= 0, "Skeleton::run: streamBase must be non-negative");
     const int nDev = s.backend.devCount();
 
     // Open/extend the observability run window and stamp every op this run
@@ -676,7 +702,7 @@ void Skeleton::run()
         s.windowClosed = false;
     }
     s.windowLast = runId;
-    trace.setContext({-1, runId});
+    trace.setContext({-1, runId, scope.jobId});
 
     // While the schedule log records, attribute this run's ops to the graph
     // that issued them so the race detector can attach read/write sets.
@@ -689,14 +715,19 @@ void Skeleton::run()
     }
 
     try {
-        runBody(runId);
+        runBody(runId, scope);
     } catch (const RuntimeError& e) {
         s.windowClosed = true;
         rethrowEnriched(s.backend, s.state->graph, e);
     }
 }
 
-void Skeleton::runBody(int runId)
+sys::EventPtr Skeleton::lastRunTail() const
+{
+    return mImpl->lastTail;
+}
+
+void Skeleton::runBody(int runId, const RunScope& scope)
 {
     Impl& s = *mImpl;
     // Pin the state: a container-launched host function could in principle
@@ -712,24 +743,57 @@ void Skeleton::runBody(int runId)
     const bool attributing =
         trace.enabled() || engine.scheduleLog().enabled() || engine.faults().active();
 
-    auto streamAt = [&](int d, int idx) -> sys::Stream& {
-        return *st.streams[static_cast<size_t>(d * st.nStreams + idx)];
-    };
-
-    // Inter-run barrier: every stream waits for the previous run's tail
-    // before dispatching new work (successive skeleton runs are dependent
-    // by construction — they reuse the same fields). The barrier lives on
-    // the *backend*, not this skeleton: alternating skeletons (e.g. the
-    // even/odd steps of a ping-pong LBM) are chained too.
-    if (const sys::EventPtr prevBarrier =
-            s.perSkeletonBarrier ? s.localBarrier : s.backend.runBarrier();
-        prevBarrier != nullptr) {
+    // Leased runs resolve their stream block here instead of using the
+    // base-0 pointers prefetched at sequence() time; the extra mutex hops
+    // only hit the service dispatch path.
+    std::vector<sys::Stream*> leasedStreams;
+    if (scope.streamBase != 0) {
+        leasedStreams.resize(static_cast<size_t>(nDev) * static_cast<size_t>(st.nStreams));
         for (int d = 0; d < nDev; ++d) {
             for (int stIdx = 0; stIdx < st.nStreams; ++stIdx) {
-                if (d == 0 && stIdx == 0) {
-                    continue;  // FIFO order on the barrier's own stream
+                leasedStreams[static_cast<size_t>(d * st.nStreams + stIdx)] =
+                    &s.backend.stream(d, scope.streamBase + stIdx);
+            }
+        }
+    }
+    const std::vector<sys::Stream*>& streamTab =
+        scope.streamBase != 0 ? leasedStreams : st.streams;
+    auto streamAt = [&](int d, int idx) -> sys::Stream& {
+        return *streamTab[static_cast<size_t>(d * st.nStreams + idx)];
+    };
+
+    // Inter-run ordering: successive runs touching the same data objects
+    // chain through the backend's per-uid event tails (writers wait the
+    // last write and every read since it; readers wait the last write).
+    // Runs over disjoint uid sets share no events and overlap freely —
+    // that is what lets independent service jobs fill each other's
+    // transfer gaps. The chains live on the *backend*, not this skeleton:
+    // alternating skeletons (e.g. the even/odd steps of a ping-pong LBM)
+    // are chained too.
+    if (s.perSkeletonBarrier) {
+        // Test hook: the historical per-skeleton barrier (misses the
+        // cross-skeleton chain; the race detector must catch that).
+        if (s.localBarrier != nullptr) {
+            for (int d = 0; d < nDev; ++d) {
+                for (int stIdx = 0; stIdx < st.nStreams; ++stIdx) {
+                    if (d == 0 && stIdx == 0) {
+                        continue;  // FIFO order on the barrier's own stream
+                    }
+                    streamAt(d, stIdx).wait(s.localBarrier);
                 }
-                streamAt(d, stIdx).wait(prevBarrier);
+            }
+        }
+    } else if (scope.chainData) {
+        const std::vector<sys::EventPtr> deps =
+            s.backend.dataBarriers().acquire(st.readUids, st.writeUids);
+        for (const sys::EventPtr& dep : deps) {
+            // Every stream of this run waits: the dep may have been
+            // recorded on any stream of any previous run (no FIFO shortcut
+            // is safe across leases).
+            for (int d = 0; d < nDev; ++d) {
+                for (int stIdx = 0; stIdx < st.nStreams; ++stIdx) {
+                    streamAt(d, stIdx).wait(dep);
+                }
             }
         }
     }
@@ -746,7 +810,7 @@ void Skeleton::runBody(int runId)
     for (const Task& t : st.tasks) {
         const GraphNode& n = st.graph.node(t.nodeId);
         if (attributing) {
-            trace.setContext({t.nodeId, runId});
+            trace.setContext({t.nodeId, runId, scope.jobId});
         }
         for (int d = 0; d < nDev; ++d) {
             sys::Stream& stream = streamAt(d, t.stream);
@@ -780,10 +844,11 @@ void Skeleton::runBody(int runId)
         }
     }
 
-    // Record the tail barrier: stream (0,0) gathers every stream's tail
-    // event and publishes a single barrier the next run waits on.
+    // Record the tail barrier: the run's stream (0, base) gathers every
+    // other stream's tail event and records one barrier whose virtual
+    // timestamp is the run's completion time.
     if (attributing) {
-        trace.setContext({-1, runId});
+        trace.setContext({-1, runId, scope.jobId});
     }
     set::EventSet tails = set::EventSet::make(nDev * st.nStreams);
     for (int d = 0; d < nDev; ++d) {
@@ -799,10 +864,11 @@ void Skeleton::runBody(int runId)
     auto barrier = std::make_shared<sys::Event>();
     streamAt(0, 0).record(barrier);
     if (s.perSkeletonBarrier) {
-        s.localBarrier = std::move(barrier);
-    } else {
-        s.backend.setRunBarrier(std::move(barrier));
+        s.localBarrier = barrier;
+    } else if (scope.chainData) {
+        s.backend.dataBarriers().publish(st.readUids, st.writeUids, barrier);
     }
+    s.lastTail = std::move(barrier);
     trace.clearContext();
 }
 
@@ -942,11 +1008,16 @@ const std::vector<Task>& CompiledSchedule::taskList() const
 
 void CompiledSchedule::run()
 {
+    run(RunScope{});
+}
+
+void CompiledSchedule::run(const RunScope& scope)
+{
     NEON_CHECK(mImpl != nullptr, "CompiledSchedule: empty handle (default-constructed)");
     NEON_CHECK(current(),
                "CompiledSchedule::run: superseded by a later sequence()/mutation on the "
                "owning skeleton");
-    mImpl->skeleton.run();
+    mImpl->skeleton.run(scope);
 }
 
 void CompiledSchedule::sync()

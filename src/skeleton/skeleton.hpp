@@ -95,6 +95,25 @@ struct SequenceOptions
 
 class Skeleton;
 
+/// Per-run execution scope: where a run's streams live and which service
+/// job it belongs to. Default-constructed == the classic single-tenant
+/// behavior (streams 0..N-1, no job attribution, data-chained).
+struct RunScope
+{
+    /// First backend stream index the run enqueues on; task stream s maps
+    /// to backend stream streamBase + s. Obtain disjoint bases for
+    /// concurrent jobs via Backend::leaseStreams.
+    int streamBase = 0;
+    /// neon::service job id stamped into trace entries and RuntimeErrors
+    /// (-1 outside a service).
+    int jobId = -1;
+    /// Order this run against earlier runs touching the same data objects
+    /// through Backend::dataBarriers(), and publish its tail for later
+    /// runs. Disable only in race-detector tests that want the unordered
+    /// behavior on purpose.
+    bool chainData = true;
+};
+
 /// Handle onto one compiled schedule: the value sequence() returns. It
 /// snapshots the (graph, task list, stream count) the compilation produced
 /// plus its cache provenance, and can re-run, lint and describe that exact
@@ -127,6 +146,9 @@ class CompiledSchedule
 
     /// Enqueue one execution (throws NeonException if superseded).
     void run();
+    /// Enqueue one execution under an explicit scope (leased streams / job
+    /// attribution — the neon::service dispatch path).
+    void run(const RunScope& scope);
     /// Block until every enqueued run completed (delegates to the skeleton).
     void sync();
 
@@ -162,6 +184,14 @@ class Skeleton
     /// node's label and the last consistently completed run, and fields
     /// hold exactly the writes of completed runs (docs/robustness.md).
     void run();
+    /// run() under an explicit scope: leased stream base, service job
+    /// attribution, optional opt-out of inter-run data chaining.
+    void run(const RunScope& scope);
+
+    /// Tail event of the most recent run() issued through this skeleton:
+    /// recorded after every stream of that run drained, so its virtual
+    /// timestamp is the run's completion time (null before the first run).
+    [[nodiscard]] sys::EventPtr lastRunTail() const;
 
     /// Block the host until every enqueued run completed. Rethrows a
     /// pending RuntimeError with the same enrichment as run().
@@ -211,7 +241,7 @@ class Skeleton
    private:
     friend class CompiledSchedule;
     struct ScheduleState;
-    void runBody(int runId);
+    void runBody(int runId, const RunScope& scope);
 
     struct Impl;
     std::shared_ptr<Impl> mImpl;

@@ -16,13 +16,15 @@
 
 namespace neon::sys {
 
-/// Trace attribution carried by work ops: which skeleton graph node and
-/// which run() window enqueued the op. Stamped by Stream::enqueue from the
-/// engine trace's current context (sys/trace.hpp); -1 outside a skeleton.
+/// Trace attribution carried by work ops: which skeleton graph node,
+/// which run() window and which service job enqueued the op. Stamped by
+/// Stream::enqueue from the engine trace's current context
+/// (sys/trace.hpp); -1 outside a skeleton / outside a service job.
 struct OpAttribution
 {
     int containerId = -1;
     int runId = -1;
+    int jobId = -1;
 };
 
 /// Devirtualized kernel payload: the container factory pre-splits the

@@ -28,12 +28,12 @@ void Stream::enqueue(Op op)
     // a plan is active even if neither trace nor schedule log is on.
     if (trace.enabled() || logging || mEngine->faults().active()) {
         const TraceContext ctx = trace.context();
-        if (ctx.containerId >= 0 || ctx.runId >= 0) {
+        if (ctx.containerId >= 0 || ctx.runId >= 0 || ctx.jobId >= 0) {
             std::visit(
                 [&](auto& o) {
                     if constexpr (requires { o.attr; }) {
                         if (o.attr.containerId < 0) {
-                            o.attr = {ctx.containerId, ctx.runId};
+                            o.attr = {ctx.containerId, ctx.runId, ctx.jobId};
                         }
                     }
                 },
@@ -131,7 +131,8 @@ void Engine::runKernelWork(const Device& dev, int streamId, const KernelOp& op, 
             for (const auto& s : samples) {
                 mTrace.record(dev.id(), streamId, TraceKind::HostPool, op.name, startV,
                               startV + s.busySeconds, static_cast<uint64_t>(s.chunks),
-                              op.attr.containerId, op.attr.runId, 0, s.worker, streamId);
+                              op.attr.containerId, op.attr.runId, op.attr.jobId, 0, s.worker,
+                              streamId);
             }
         } else if (usePool) {
             pool->parallelFor(op.work.chunks, op.work.run, op.work.ctx);
@@ -196,6 +197,7 @@ FaultDecision Engine::consultFaults(const Device& dev, int stream, ScheduleOpKin
         info.opName = opName;
         info.containerId = attr.containerId;
         info.runId = attr.runId;
+        info.jobId = attr.jobId;
         auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
         raiseAbort(error);
         std::rethrow_exception(error);
@@ -214,6 +216,7 @@ void Engine::throwOpTimeout(const Device& dev, int stream, const char* opKindNam
     info.opName = opName;
     info.containerId = attr.containerId;
     info.runId = attr.runId;
+    info.jobId = attr.jobId;
     info.timeout = limit;
     auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
     raiseAbort(error);
@@ -231,6 +234,7 @@ void Engine::throwTransferExhausted(const Device& dev, int stream, const std::st
     info.opName = opName;
     info.containerId = attr.containerId;
     info.runId = attr.runId;
+    info.jobId = attr.jobId;
     info.attempts = attempts;
     auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
     raiseAbort(error);
@@ -248,6 +252,7 @@ void Engine::throwSyncTimeout(int device, int stream, const char* opKindName,
     info.opName = opName;
     info.containerId = attr.containerId;
     info.runId = attr.runId;
+    info.jobId = attr.jobId;
     info.timeout = limit;
     auto error = std::make_exception_ptr(RuntimeError(std::move(info)));
     raiseAbort(error);

@@ -133,7 +133,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                                                       k->attr, "kernel", k->name);
                 if (d.stallSeconds > 0.0) {
                     mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + k->name, start,
-                                start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId);
+                                start + d.stallSeconds, 0, k->attr.containerId, k->attr.runId,
+                                k->attr.jobId);
                     start += d.stallSeconds;
                 }
             }
@@ -150,7 +151,7 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             runKernelWork(dev, stream.id(), *k, start);
         }
         mTrace.record(dev.id(), stream.id(), TraceKind::Kernel, k->name, start, end, 0,
-                    k->attr.containerId, k->attr.runId);
+                    k->attr.containerId, k->attr.runId, k->attr.jobId);
         return;
     }
     if (auto* t = std::get_if<TransferOp>(&op)) {
@@ -165,7 +166,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                                   "transfer", t->name);
                 if (d.stallSeconds > 0.0) {
                     mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + t->name, begin,
-                                begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId);
+                                begin + d.stallSeconds, 0, t->attr.containerId, t->attr.runId,
+                                t->attr.jobId);
                     begin += d.stallSeconds;
                 }
             }
@@ -179,7 +181,7 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                 mTrace.record(dev.id(), stream.id(), TraceKind::Fault,
                             "retry#" + std::to_string(attempt) + ":" + t->name, cursor,
                             bad.end + backoff, bad.totalBytes, t->attr.containerId,
-                            t->attr.runId);
+                            t->attr.runId, t->attr.jobId);
                 cursor = bad.end + backoff;
             }
             if (d.failedAttempts >= cfg.retry.maxAttempts) {
@@ -204,7 +206,7 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         for (size_t i = 0; i < t->chunks.size(); ++i) {
             mTrace.record(dev.id(), stream.id(), TraceKind::Transfer, t->name, plan.windows[i].start,
                         plan.windows[i].end, plan.windows[i].bytes, t->attr.containerId,
-                        t->attr.runId);
+                        t->attr.runId, t->attr.jobId);
         }
         return;
     }
@@ -220,7 +222,8 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
                                                       h->attr, "hostFn", h->name);
                 if (d.stallSeconds > 0.0) {
                     mTrace.record(dev.id(), stream.id(), TraceKind::Fault, "stall:" + h->name, start,
-                                start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId);
+                                start + d.stallSeconds, 0, h->attr.containerId, h->attr.runId,
+                                h->attr.jobId);
                     start += d.stallSeconds;
                 }
             }
@@ -234,7 +237,7 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
             h->fn();
         }
         mTrace.record(dev.id(), stream.id(), TraceKind::HostFn, h->name, start, end, 0,
-                    h->attr.containerId, h->attr.runId);
+                    h->attr.containerId, h->attr.runId, h->attr.jobId);
         return;
     }
     if (auto* r = std::get_if<RecordOp>(&op)) {
@@ -277,7 +280,7 @@ void ThreadedEngine::process(Stream& stream, State& state, Op& op)
         }
         if (evTime > before && mTrace.enabled()) {
             mTrace.record(dev.id(), stream.id(), TraceKind::Wait, "wait", before, evTime, 0,
-                        w->attr.containerId, w->attr.runId, w->event->id(),
+                        w->attr.containerId, w->attr.runId, w->attr.jobId, w->event->id(),
                         w->event->recordedDevice(), w->event->recordedStream());
         }
         return;
