@@ -73,7 +73,7 @@ struct Workload
             auto dst = fields[static_cast<size_t>((r + 1) % 3)];
             auto al = alpha;
             ops.push_back(grid.newContainer("map" + std::to_string(r),
-                                            [src, dst, al](set::Loader& l) mutable {
+                                            [src, dst, al](auto& l) mutable {
                                                 auto sp = l.load(src, Access::READ);
                                                 auto dp = l.load(dst, Access::WRITE);
                                                 auto av = l.load(al, Access::READ);
@@ -83,7 +83,7 @@ struct Workload
                                             }));
             auto st = fields[static_cast<size_t>((r + 2) % 3)];
             ops.push_back(grid.newContainer("sten" + std::to_string(r),
-                                            [dst, st](set::Loader& l) mutable {
+                                            [dst, st](auto& l) mutable {
                                                 auto sp = l.load(dst, Access::READ,
                                                                  Compute::STENCIL);
                                                 auto op = l.load(st, Access::WRITE);
@@ -193,7 +193,7 @@ int main(int argc, char** argv)
     fa.updateDev();
     fb.updateDev();
     std::vector<set::Container> axpy = {
-        cpuGrid.newContainer("axpy", [fa, fb](set::Loader& l) mutable {
+        cpuGrid.newContainer("axpy", [fa, fb](auto& l) mutable {
             auto ap = l.load(fa, Access::READ);
             auto bp = l.load(fb, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable { bp(c) = 0.99 * bp(c) + ap(c); };

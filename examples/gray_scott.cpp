@@ -22,7 +22,7 @@ using Field = dgrid::DField<double>;
 
 set::Container step(const dgrid::DGrid& grid, Field uIn, Field vIn, Field uOut, Field vOut)
 {
-    return grid.newContainer("grayScott", [=](set::Loader& l) mutable {
+    return grid.newContainer("grayScott", [=](auto& l) mutable {
         auto u = l.load(uIn, Access::READ, Compute::STENCIL);
         auto v = l.load(vIn, Access::READ, Compute::STENCIL);
         auto uo = l.load(uOut, Access::WRITE);

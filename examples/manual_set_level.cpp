@@ -25,12 +25,12 @@ int main()
     A.forEachHost([](const index_3d& g, int, float& v) { v = static_cast<float>(g.z); });
     A.updateDev();
 
-    auto map = grid.newContainer("map", [&](set::Loader& l) {
+    auto map = grid.newContainer("map", [&](auto& l) {
         auto a = l.load(A, Access::READ);
         auto b = l.load(B, Access::WRITE);
         return [=](const dgrid::DCell& c) mutable { b(c) = 2.0f * a(c); };
     });
-    auto stencil = grid.newContainer("stencil", [&](set::Loader& l) {
+    auto stencil = grid.newContainer("stencil", [&](auto& l) {
         auto b = l.load(B, Access::READ, Compute::STENCIL);
         auto a = l.load(A, Access::WRITE);
         return [=](const dgrid::DCell& c) mutable {

@@ -26,12 +26,12 @@ int main()
         auto         B = grid.newField<float>("B", 1, 0.0f);
 
         // map: B = 2A ; stencil: A = laplacian(B) — Fig. 1's pattern.
-        auto map = grid.newContainer("map", [&](set::Loader& l) {
+        auto map = grid.newContainer("map", [&](auto& l) {
             auto a = l.load(A, Access::READ);
             auto b = l.load(B, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable { b(c) = 2.0f * a(c); };
         });
-        auto stencil = grid.newContainer("stencil", [&](set::Loader& l) {
+        auto stencil = grid.newContainer("stencil", [&](auto& l) {
             auto b = l.load(B, Access::READ, Compute::STENCIL);
             auto a = l.load(A, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable {

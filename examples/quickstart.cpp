@@ -34,7 +34,7 @@ int main()
     //    what each kernel touches; Neon infers the dependency graph.
     auto axpy = patterns::axpy(grid, alpha, Y, X, "axpy");  // X += alpha * Y
 
-    auto laplace = grid.newContainer("laplace", [&](set::Loader& l) {
+    auto laplace = grid.newContainer("laplace", [&](auto& l) {
         auto x = l.load(X, Access::READ, Compute::STENCIL);
         auto y = l.load(Y, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable {

@@ -46,8 +46,21 @@ void fieldParts(std::vector<Segment>& out, const sys::MetaAccess& a, DataView vi
         addUnique(out, {a.uid, dev, Part::Internal});
         addUnique(out, {a.uid, dev, Part::Boundary});
         if (view != DataView::INTERNAL && devCount > 1) {
-            addUnique(out, {a.uid, dev, Part::HaloLo});
-            addUnique(out, {a.uid, dev, Part::HaloHi});
+            // Claim only the halo halves a neighbour actually feeds
+            // (MetaAccess::haloLoFed/haloHiFed, derived from HaloOps::peers).
+            // Empty vectors mean the feed info is unknown (hand-built metas):
+            // fall back to the dense rule — every interior side has a
+            // neighbour, edge devices only one.
+            const auto idx = static_cast<size_t>(dev);
+            const bool loFed = idx < a.haloLoFed.size() ? a.haloLoFed[idx] != 0 : dev > 0;
+            const bool hiFed =
+                idx < a.haloHiFed.size() ? a.haloHiFed[idx] != 0 : dev + 1 < devCount;
+            if (loFed) {
+                addUnique(out, {a.uid, dev, Part::HaloLo});
+            }
+            if (hiFed) {
+                addUnique(out, {a.uid, dev, Part::HaloHi});
+            }
         }
         return;
     }
@@ -70,10 +83,16 @@ AccessSets segmentsFor(const sys::ContainerMeta& meta, int dev, int devCount)
 
     if (meta.kind == sys::MetaNodeKind::Halo) {
         // The op on `dev` reads dev's boundary cells and writes them into
-        // the neighbours' halo buffers.
+        // the neighbours' halo buffers. A device with no receiving peers
+        // (zero-count segment lists toward both sides) performs no work, so
+        // it claims nothing — unless the peer info is absent (hand-built
+        // metas), where the dense read claim is kept as a safe default.
         for (const auto& a : meta.accesses) {
-            addUnique(sets.reads, {a.uid, dev, Part::Boundary});
-            if (dev >= 0 && dev < static_cast<int>(meta.haloPeers.size())) {
+            const bool havePeers = dev >= 0 && dev < static_cast<int>(meta.haloPeers.size());
+            if (!havePeers || !meta.haloPeers[static_cast<size_t>(dev)].empty()) {
+                addUnique(sets.reads, {a.uid, dev, Part::Boundary});
+            }
+            if (havePeers) {
                 for (int p : meta.haloPeers[static_cast<size_t>(dev)]) {
                     // dev fills the half of p's halo that faces it.
                     addUnique(sets.writes,

@@ -11,10 +11,16 @@
 //   app.run(); app.sync();
 //   auto races = an.raceReport();
 //
-//   // Or run any example/bench under NEON_ANALYSIS=1 (tools/neon-lint).
+//   // Diff observed kernel accesses against Loader declarations
+//   // (runs the pipeline once with instrumented views):
+//   auto deep = app.validate(neon::ValidateMode::Deep);
+//
+//   // Or run any example/bench under NEON_ANALYSIS=1 (tools/neon-lint)
+//   // and NEON_SANITIZE=1 (tools/neon-lint --sanitize).
 
 #include "analysis/access_model.hpp"   // NOLINT(misc-include-cleaner)
 #include "analysis/env.hpp"            // NOLINT(misc-include-cleaner)
 #include "analysis/graph_lint.hpp"     // NOLINT(misc-include-cleaner)
 #include "analysis/race_detector.hpp"  // NOLINT(misc-include-cleaner)
 #include "analysis/report.hpp"         // NOLINT(misc-include-cleaner)
+#include "analysis/sanitizer.hpp"      // NOLINT(misc-include-cleaner)

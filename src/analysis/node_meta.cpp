@@ -15,7 +15,28 @@ sys::ContainerMeta metaFor(const skeleton::GraphNode& node, int devCount)
     }
     std::shared_ptr<const set::HaloOps> halo;
     for (const auto& a : node.container.accesses()) {
-        m.accesses.push_back({a.uid, a.access, a.compute, a.scalar, a.halo != nullptr, a.name});
+        sys::MetaAccess ma{a.uid, a.access, a.compute, a.scalar, a.halo != nullptr, a.name, {}, {}};
+        if (a.halo != nullptr) {
+            // Which halo halves are actually fed: device d's lower half
+            // receives segments iff d-1 lists d as a peer (and symmetrically
+            // for the upper half). Segment-list fields (BField) can have
+            // empty boundaries toward a neighbour, so this is narrower than
+            // the dense ±1 rule.
+            ma.haloLoFed.resize(static_cast<size_t>(devCount), 0);
+            ma.haloHiFed.resize(static_cast<size_t>(devCount), 0);
+            for (int d = 0; d < devCount; ++d) {
+                for (int p : a.halo->peers(d)) {
+                    if (p < 0 || p >= devCount) {
+                        continue;
+                    }
+                    // d fills the half of p's halo that faces it (the same
+                    // orientation rule segmentsFor uses for Halo nodes).
+                    auto& fed = d < p ? ma.haloLoFed : ma.haloHiFed;
+                    fed[static_cast<size_t>(p)] = 1;
+                }
+            }
+        }
+        m.accesses.push_back(std::move(ma));
         if (a.halo != nullptr) {
             halo = a.halo;
         }

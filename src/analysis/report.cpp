@@ -18,18 +18,28 @@ std::string to_string(ViolationKind k)
         case ViolationKind::MissingWait: return "missingWait";
         case ViolationKind::Race: return "race";
         case ViolationKind::WaitBeforeRecord: return "waitBeforeRecord";
+        case ViolationKind::UndeclaredRead: return "undeclaredRead";
+        case ViolationKind::UndeclaredWrite: return "undeclaredWrite";
+        case ViolationKind::WriteViaReadAccess: return "writeViaReadAccess";
+        case ViolationKind::UndeclaredStencil: return "undeclaredStencil";
+        case ViolationKind::StencilRadiusExceeded: return "stencilRadiusExceeded";
+        case ViolationKind::OutOfSpanWrite: return "outOfSpanWrite";
+        case ViolationKind::OverdeclaredAccess: return "overdeclaredAccess";
     }
     return "?";
 }
 
 namespace {
 
-constexpr std::array<ViolationKind, 9> kAllKinds = {
-    ViolationKind::MissingDependency, ViolationKind::SpuriousEdge,
-    ViolationKind::StaleHaloRead,     ViolationKind::GraphCycle,
-    ViolationKind::LevelOrder,        ViolationKind::DeadNodeScheduled,
-    ViolationKind::MissingWait,       ViolationKind::Race,
-    ViolationKind::WaitBeforeRecord,
+constexpr std::array<ViolationKind, 16> kAllKinds = {
+    ViolationKind::MissingDependency,     ViolationKind::SpuriousEdge,
+    ViolationKind::StaleHaloRead,         ViolationKind::GraphCycle,
+    ViolationKind::LevelOrder,            ViolationKind::DeadNodeScheduled,
+    ViolationKind::MissingWait,           ViolationKind::Race,
+    ViolationKind::WaitBeforeRecord,      ViolationKind::UndeclaredRead,
+    ViolationKind::UndeclaredWrite,       ViolationKind::WriteViaReadAccess,
+    ViolationKind::UndeclaredStencil,     ViolationKind::StencilRadiusExceeded,
+    ViolationKind::OutOfSpanWrite,        ViolationKind::OverdeclaredAccess,
 };
 
 std::string jsonEscape(const std::string& s)

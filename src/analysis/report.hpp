@@ -21,6 +21,15 @@ enum class ViolationKind : uint8_t
     MissingWait,        ///< cross-stream dependency without an event wait
     Race,               ///< conflicting ops not ordered by happens-before
     WaitBeforeRecord,   ///< wait enqueued before its event's record
+    // Access-contract sanitizer verdicts (analysis/sanitizer.hpp): the
+    // kernel's observed behaviour vs its declared Loader accesses.
+    UndeclaredRead,         ///< read a uid the container never declared
+    UndeclaredWrite,        ///< wrote a uid the container never declared
+    WriteViaReadAccess,     ///< declared READ only, but wrote
+    UndeclaredStencil,      ///< declared MAP, but read a neighbour
+    StencilRadiusExceeded,  ///< neighbour offset beyond the halo radius
+    OutOfSpanWrite,         ///< wrote a cell outside the launched span
+    OverdeclaredAccess,     ///< declared, but never touched on any device
 };
 
 std::string to_string(ViolationKind k);

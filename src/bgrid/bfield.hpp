@@ -122,6 +122,18 @@ struct BPartition
     }
 
     [[nodiscard]] int32_t cardinality() const { return card; }
+
+    // Access-sanitizer contracts (set/sanitize.hpp): BSpan slots are block
+    // ordinals; the 27-direction neighbour table bounds offsets to radius 1
+    // on every axis.
+    [[nodiscard]] static int32_t spanSlotOf(const BCell& cell) { return cell.block; }
+    [[nodiscard]] static int32_t stencilExtent(const index_3d& offset)
+    {
+        const int32_t ax = offset.x < 0 ? -offset.x : offset.x;
+        const int32_t ay = offset.y < 0 ? -offset.y : offset.y;
+        const int32_t az = offset.z < 0 ? -offset.z : offset.z;
+        return ax > ay ? (ax > az ? ax : az) : (ay > az ? ay : az);
+    }
 };
 
 template <typename T>

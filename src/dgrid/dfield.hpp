@@ -111,6 +111,16 @@ struct DPartition
     [[nodiscard]] index_3d globalDim() const { return {dimX, dimY, globalZ}; }
 
     [[nodiscard]] int32_t cardinality() const { return card; }
+
+    // Access-sanitizer contracts (set/sanitize.hpp, docs/analysis.md): the
+    // span slot a cell iterates under (DSpan slots are z-planes) and how
+    // far a neighbour offset reaches toward another partition (only z
+    // crosses device boundaries on DGrid; x/y stay inside the slab).
+    [[nodiscard]] static int32_t spanSlotOf(const DCell& cell) { return cell.z; }
+    [[nodiscard]] static int32_t stencilExtent(const index_3d& offset)
+    {
+        return offset.z < 0 ? -offset.z : offset.z;
+    }
 };
 
 template <typename T>

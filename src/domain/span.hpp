@@ -73,6 +73,19 @@ class Span
 
     [[nodiscard]] const Decoder& decoder() const { return mDecoder; }
 
+    /// The two slot ranges (range 1 may be empty). Exposed for the access
+    /// sanitizer, which checks written cells against the launched span.
+    [[nodiscard]] const Range& range0() const { return mR0; }
+    [[nodiscard]] const Range& range1() const { return mR1; }
+
+    /// True when slot index `slot` (a decoder slot, e.g. a z-plane or block
+    /// ordinal — see Partition::spanSlotOf) is part of this span.
+    [[nodiscard]] bool containsSlot(int32_t slot) const
+    {
+        return (slot >= mR0.first && slot < mR0.first + mR0.count) ||
+               (slot >= mR1.first && slot < mR1.first + mR1.count);
+    }
+
     template <typename Fn>
     void forEach(Fn&& fn) const
     {

@@ -108,6 +108,18 @@ struct EPartition
     }
 
     [[nodiscard]] int32_t cardinality() const { return card; }
+
+    // Access-sanitizer contracts (set/sanitize.hpp): ESpan slots are single
+    // cells; neighbour offsets go through the LUT, which is bounded by the
+    // stencil radius on every axis.
+    [[nodiscard]] static int32_t spanSlotOf(const ECell& cell) { return cell.idx; }
+    [[nodiscard]] static int32_t stencilExtent(const index_3d& offset)
+    {
+        const int32_t ax = offset.x < 0 ? -offset.x : offset.x;
+        const int32_t ay = offset.y < 0 ? -offset.y : offset.y;
+        const int32_t az = offset.z < 0 ? -offset.z : offset.z;
+        return ax > ay ? (ax > az ? ax : az) : (ay > az ? ay : az);
+    }
 };
 
 template <typename T>

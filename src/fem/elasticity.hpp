@@ -80,7 +80,7 @@ set::Container makeElasticApply(const Grid& grid, const ElasticProblem& problem,
     auto          table = problem.table;
     const int32_t zTop = grid.dim().z;  // unused placeholder to keep layout uniform
     (void)zTop;
-    return grid.newContainer(std::move(name), [table, act, in, out](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [table, act, in, out](auto& l) mutable {
         auto ap = l.load(act, Access::READ, Compute::STENCIL);
         auto up = l.load(in, Access::READ, Compute::STENCIL);
         auto op = l.load(out, Access::WRITE);

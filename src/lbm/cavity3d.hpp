@@ -117,7 +117,7 @@ class CavityD3Q19
         const Real    lidU = mLidU;
         const int32_t topZ = mGrid.dim().z - 1;
         return mGrid.newContainer("collideStream", [fin, fout, omega, lidU,
-                                                    topZ](set::Loader& l) mutable {
+                                                    topZ](auto& l) mutable {
             auto in = l.load(fin, Access::READ, Compute::STENCIL);
             auto out = l.load(fout, Access::WRITE);
             return [=](const auto& cell) mutable {

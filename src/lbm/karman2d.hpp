@@ -152,7 +152,7 @@ class KarmanD2Q9
         const Real u0 = static_cast<Real>(mConfig.inflow);
         auto       flags = mFlags;
         return mGrid.newContainer("collideStream2d", [fin, fout, flags, omega,
-                                                      u0](set::Loader& l) mutable {
+                                                      u0](auto& l) mutable {
             auto in = l.load(fin, Access::READ, Compute::STENCIL);
             auto flag = l.load(flags, Access::READ, Compute::STENCIL);
             auto out = l.load(fout, Access::WRITE);

@@ -21,7 +21,7 @@ template <typename Grid, typename Field, typename T>
 set::Container setValue(const Grid& grid, Field f, T value, std::string name = "set")
 {
     const int card = f.cardinality();
-    return grid.newContainer(std::move(name), [f, value, card](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [f, value, card](auto& l) mutable {
         auto fp = l.load(f, Access::WRITE);
         return [=](const auto& cell) mutable {
             for (int c = 0; c < card; ++c) {
@@ -36,7 +36,7 @@ template <typename Grid, typename Field>
 set::Container copy(const Grid& grid, Field src, Field dst, std::string name = "copy")
 {
     const int card = src.cardinality();
-    return grid.newContainer(std::move(name), [src, dst, card](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [src, dst, card](auto& l) mutable {
         auto s = l.load(src, Access::READ);
         auto d = l.load(dst, Access::WRITE);
         return [=](const auto& cell) mutable {
@@ -53,7 +53,7 @@ set::Container axpy(const Grid& grid, set::GlobalScalar<T> alpha, Field x, Field
                     std::string name = "axpy")
 {
     const int card = x.cardinality();
-    return grid.newContainer(std::move(name), [alpha, x, y, card](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [alpha, x, y, card](auto& l) mutable {
         auto a = l.load(alpha, Access::READ);
         auto xp = l.load(x, Access::READ);
         auto yp = l.load(y, Access::WRITE);
@@ -71,7 +71,7 @@ set::Container axmy(const Grid& grid, set::GlobalScalar<T> alpha, Field x, Field
                     std::string name = "axmy")
 {
     const int card = x.cardinality();
-    return grid.newContainer(std::move(name), [alpha, x, y, card](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [alpha, x, y, card](auto& l) mutable {
         auto a = l.load(alpha, Access::READ);
         auto xp = l.load(x, Access::READ);
         auto yp = l.load(y, Access::WRITE);
@@ -89,7 +89,7 @@ set::Container xpby(const Grid& grid, Field x, set::GlobalScalar<T> beta, Field 
                     std::string name = "xpby")
 {
     const int card = x.cardinality();
-    return grid.newContainer(std::move(name), [x, beta, y, card](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [x, beta, y, card](auto& l) mutable {
         auto b = l.load(beta, Access::READ);
         auto xp = l.load(x, Access::READ);
         auto yp = l.load(y, Access::WRITE);
@@ -108,7 +108,7 @@ set::Container dot(const Grid& grid, Field x, Field y, set::GlobalScalar<T> resu
 {
     const int card = x.cardinality();
     return set::Container::reduceFactory(
-        std::move(name), grid, result, [x, y, card](set::Loader& l) mutable {
+        std::move(name), grid, result, [x, y, card](auto& l) mutable {
             auto xp = l.load(x, Access::READ, Compute::REDUCE);
             auto yp = l.load(y, Access::READ, Compute::REDUCE);
             return [=](const auto& cell, T& acc) {
@@ -137,7 +137,7 @@ set::Container normInf(const Grid& grid, Field x, set::GlobalScalar<T> result,
                "normInf requires a Max-reduction scalar");
     const int card = x.cardinality();
     return set::Container::reduceFactory(
-        std::move(name), grid, result, [x, result, card](set::Loader& l) mutable {
+        std::move(name), grid, result, [x, result, card](auto& l) mutable {
             auto xp = l.load(x, Access::READ, Compute::REDUCE);
             return [=](const auto& cell, T& acc) {
                 for (int c = 0; c < card; ++c) {

@@ -20,7 +20,7 @@ template <typename Grid, typename FieldT>
 set::Container makeLaplacianApply(const Grid& grid, FieldT in, FieldT out,
                                   std::string name = "laplacian")
 {
-    return grid.newContainer(std::move(name), [in, out](set::Loader& l) mutable {
+    return grid.newContainer(std::move(name), [in, out](auto& l) mutable {
         auto ip = l.load(in, Access::READ, Compute::STENCIL);
         auto op = l.load(out, Access::WRITE);
         return [=](const auto& cell) mutable {

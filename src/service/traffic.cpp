@@ -87,7 +87,7 @@ namespace {
 Container makeStencil(dgrid::DGrid& grid, const std::string& name,
                       dgrid::DField<double> src, dgrid::DField<double> dst)
 {
-    return grid.newContainer(name, [src, dst](set::Loader& l) mutable {
+    return grid.newContainer(name, [src, dst](auto& l) mutable {
         auto sp = l.load(src, Access::READ, Compute::STENCIL);
         auto dp = l.load(dst, Access::WRITE);
         return [=](const dgrid::DCell& c) mutable {
@@ -103,7 +103,7 @@ Container makeStencil(dgrid::DGrid& grid, const std::string& name,
 Container makeMap(dgrid::DGrid& grid, const std::string& name, dgrid::DField<double> src,
                   dgrid::DField<double> dst, GlobalScalar<double> s)
 {
-    return grid.newContainer(name, [src, dst, s](set::Loader& l) mutable {
+    return grid.newContainer(name, [src, dst, s](auto& l) mutable {
         auto sp = l.load(src, Access::READ);
         auto dp = l.load(dst, Access::WRITE);
         auto sv = l.load(s, Access::READ);

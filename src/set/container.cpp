@@ -1,6 +1,14 @@
 #include "set/container.hpp"
 
+#include <atomic>
+
 namespace neon::set {
+
+uint64_t Container::nextSeq()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void Container::Impl::ensureParsed()
 {
@@ -43,6 +51,7 @@ Container Container::haloUpdate(std::shared_ptr<const HaloOps> halo)
     c.mImpl->name = "halo(" + halo->name() + ")";
     c.mImpl->kind = Kind::Halo;
     c.mImpl->devCount = halo->devCount();
+    c.mImpl->seq = nextSeq();
     c.mImpl->parser = [halo](AccessList& rec) {
         // A halo update is modeled as a write of the field: the stencil
         // reading it afterwards gets a RaW edge, previous readers a WaR.
@@ -108,11 +117,39 @@ bool Container::isReduce() const
     return mImpl->combine != nullptr;
 }
 
-void Container::launch(int dev, sys::Stream& stream, DataView view) const
+void Container::Impl::ensureSanitized()
+{
+    std::call_once(sanOnce, [this] {
+        ensureParsed();
+        if (sanBuilder) {
+            sanBuilder(*this);
+        }
+    });
+}
+
+bool Container::sanitizable() const
+{
+    return mImpl->sanBuilder != nullptr;
+}
+
+uint64_t Container::sanitizeSeq() const
+{
+    return mImpl->seq;
+}
+
+void Container::launch(int dev, sys::Stream& stream, DataView view, bool sanitized) const
 {
     mImpl->ensureParsed();
     if (!mImpl->records.empty()) {
-        const LaunchRecord& rec = mImpl->recordAt(dev, view);
+        // Kernels that cannot be instrumented (concrete-Loader lambdas)
+        // fall back to the plain trampoline: the sanitizer then simply has
+        // no observations for them.
+        const bool useSan = sanitized && mImpl->sanBuilder != nullptr;
+        if (useSan) {
+            mImpl->ensureSanitized();
+        }
+        const LaunchRecord& rec = useSan ? mImpl->sanRecordAt(dev, view)
+                                         : mImpl->recordAt(dev, view);
         // Empty map views (e.g. BOUNDARY on one device) skip entirely;
         // reductions always launch so their partial slots are reset every
         // iteration (stale partials would leak across runs).
@@ -130,10 +167,10 @@ void Container::launch(int dev, sys::Stream& stream, DataView view) const
     mImpl->launcher(dev, stream, view, mImpl->hint);
 }
 
-void Container::run(const StreamSet& streams, DataView view) const
+void Container::run(const StreamSet& streams, DataView view, bool sanitized) const
 {
     for (int d = 0; d < devCount(); ++d) {
-        launch(d, streams[d], view);
+        launch(d, streams[d], view, sanitized);
     }
     if (isReduce()) {
         // Manual execution path: synchronize and combine on stream 0.

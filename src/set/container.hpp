@@ -7,7 +7,9 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "set/access.hpp"
 #include "set/backend.hpp"
 #include "set/loader.hpp"
+#include "set/sanitize.hpp"
 #include "set/scalar.hpp"
 
 namespace neon::set {
@@ -49,6 +52,7 @@ class Container
         c.mImpl->name = std::move(name);
         c.mImpl->kind = Kind::Compute;
         c.mImpl->devCount = grid.devCount();
+        c.mImpl->seq = nextSeq();
         c.mImpl->parser = [grid, fn](AccessList& rec) mutable {
             Loader loader = Loader::parsing(&rec);
             (void)fn(loader);
@@ -83,6 +87,73 @@ class Container
                 c.mImpl->records.push_back(std::move(rec));
             }
         }
+        // Sanitized trampolines are built lazily on the first sanitized
+        // launch: sanitize-off pays nothing beyond storing this closure.
+        // Only generic (`auto&`) loading lambdas can be re-run against a
+        // sanitize::Loader; concrete `set::Loader&` lambdas stay plain.
+        if constexpr (std::is_invocable_v<LoadingLambda&, sanitize::Loader&>) {
+            c.mImpl->sanBuilder = [grid, fn](Impl& impl) mutable {
+                for (int dev = 0; dev < impl.devCount; ++dev) {
+                    for (const DataView view : kAllViews) {
+                        auto span = grid.span(dev, view);
+                        auto meta = std::make_shared<sanitize::KernelMeta>();
+                        meta->haloRadius = grid.haloRadius();
+                        sanitize::Loader loader(dev, view, meta.get());
+                        using SpanT = decltype(span);
+                        using KernelT = decltype(fn(loader));
+                        struct STramp
+                        {
+                            SpanT                                 sp;
+                            KernelT                               kernel;
+                            std::shared_ptr<sanitize::KernelMeta> meta;
+                            std::vector<sanitize::Sink>           sinks;  ///< one per chunk
+                            const Impl*                           impl;
+                            int                                   dev;
+                            static void run(void* ctx, int32_t chunk, int32_t nChunks)
+                            {
+                                auto* t = static_cast<STramp*>(ctx);
+                                auto& sink = t->sinks[static_cast<size_t>(chunk)];
+                                sink.clear();
+                                sanitize::ChunkScope scope(&sink);
+                                t->sp.forEachChunk(chunk, nChunks, t->kernel);
+                            }
+                            static void finalize(void* ctx, int32_t, int32_t nChunks)
+                            {
+                                auto* t = static_cast<STramp*>(ctx);
+                                // Merge the chunk sinks in chunk order; every
+                                // merge is monotone, so the result is bitwise
+                                // identical for any NEON_THREADS.
+                                std::vector<sanitize::AccessObs> merged(t->meta->loads.size());
+                                for (int32_t i = 0; i < nChunks; ++i) {
+                                    const auto& obs = t->sinks[static_cast<size_t>(i)].obs();
+                                    for (size_t s = 0; s < merged.size(); ++s) {
+                                        merged[s].merge(obs[s]);
+                                    }
+                                }
+                                sanitize::Session::instance().commit(
+                                    t->impl->seq, t->impl->name, t->dev, t->meta->haloRadius,
+                                    t->impl->accessList, *t->meta, merged);
+                            }
+                        };
+                        auto tramp = std::make_shared<STramp>(
+                            STramp{span, fn(loader), meta, {}, &impl, dev});
+                        tramp->sinks.resize(static_cast<size_t>(span.chunkCount()));
+                        for (auto& s : tramp->sinks) {
+                            s.configure(meta->loads.size(), span.range0(), span.range1());
+                        }
+                        LaunchRecord rec;
+                        rec.items = span.count();
+                        rec.work.run = &STramp::run;
+                        rec.work.finalize = &STramp::finalize;
+                        rec.work.ctx = tramp.get();
+                        rec.work.chunks = span.chunkCount();
+                        rec.work.sanitized = true;
+                        rec.work.owner = std::move(tramp);
+                        impl.sanRecords.push_back(std::move(rec));
+                    }
+                }
+            };
+        }
         return c;
     }
 
@@ -104,6 +175,7 @@ class Container
         c.mImpl->forcedPattern = Compute::REDUCE;
         c.mImpl->hasForcedPattern = true;
         c.mImpl->devCount = grid.devCount();
+        c.mImpl->seq = nextSeq();
         c.mImpl->parser = [grid, fn, result](AccessList& rec) mutable {
             Loader loader = Loader::parsing(&rec);
             (void)fn(loader);
@@ -184,6 +256,105 @@ class Container
                 c.mImpl->records.push_back(std::move(rec));
             }
         }
+        // Sanitized reduce trampolines: same deterministic partial slots and
+        // pairwise fold (results must stay bitwise identical with sanitize
+        // on), plus observation sinks and the result-scalar write record.
+        if constexpr (std::is_invocable_v<LoadingLambda&, sanitize::Loader&>) {
+            c.mImpl->sanBuilder = [grid, fn, result](Impl& impl) mutable {
+                for (int dev = 0; dev < impl.devCount; ++dev) {
+                    for (const DataView view : kAllViews) {
+                        auto span = grid.span(dev, view);
+                        auto meta = std::make_shared<sanitize::KernelMeta>();
+                        meta->haloRadius = grid.haloRadius();
+                        sanitize::Loader loader(dev, view, meta.get());
+                        using SpanT = decltype(span);
+                        using KernelT = decltype(fn(loader));
+                        // The reduce result is written by finalize, not
+                        // through a View: give it a load slot by hand.
+                        const size_t resultSlot = meta->loads.size();
+                        meta->loads.push_back({result.uid(), result.name(), true, false});
+                        struct STramp
+                        {
+                            SpanT                                 sp;
+                            KernelT                               kernel;
+                            GlobalScalar<T>                       out;
+                            int                                   dev;
+                            DataView                              view;
+                            std::vector<T>                        partials;
+                            std::vector<T>                        scratch;
+                            std::shared_ptr<sanitize::KernelMeta> meta;
+                            std::vector<sanitize::Sink>           sinks;
+                            size_t                                resultSlot;
+                            const Impl*                           impl;
+                            static void run(void* ctx, int32_t chunk, int32_t nChunks)
+                            {
+                                auto* t = static_cast<STramp*>(ctx);
+                                auto& sink = t->sinks[static_cast<size_t>(chunk)];
+                                sink.clear();
+                                sanitize::ChunkScope scope(&sink);
+                                T                    acc = t->out.identity();
+                                t->sp.forEachChunk(chunk, nChunks,
+                                                   [&](const auto& cell) { t->kernel(cell, acc); });
+                                t->partials[static_cast<size_t>(chunk)] = acc;
+                            }
+                            static void finalize(void* ctx, int32_t, int32_t nChunks)
+                            {
+                                auto* t = static_cast<STramp*>(ctx);
+                                auto& s = t->scratch;
+                                s.assign(t->partials.begin(), t->partials.end());
+                                for (int32_t n = nChunks; n > 1;) {
+                                    const int32_t pairs = n / 2;
+                                    for (int32_t i = 0; i < pairs; ++i) {
+                                        T folded = s[static_cast<size_t>(2 * i)];
+                                        t->out.fold(folded, s[static_cast<size_t>(2 * i + 1)]);
+                                        s[static_cast<size_t>(i)] = folded;
+                                    }
+                                    if (n % 2 == 1) {
+                                        s[static_cast<size_t>(pairs)] =
+                                            s[static_cast<size_t>(n - 1)];
+                                    }
+                                    n = pairs + n % 2;
+                                }
+                                t->out.setPartial(t->dev, GlobalScalar<T>::slotOf(t->view), s[0]);
+                                if (t->view == DataView::STANDARD) {
+                                    t->out.setPartial(t->dev, 1, t->out.identity());
+                                }
+                                std::vector<sanitize::AccessObs> merged(t->meta->loads.size());
+                                for (int32_t i = 0; i < nChunks; ++i) {
+                                    const auto& obs = t->sinks[static_cast<size_t>(i)].obs();
+                                    for (size_t si = 0; si < merged.size(); ++si) {
+                                        merged[si].merge(obs[si]);
+                                    }
+                                }
+                                merged[t->resultSlot].noteWrite(true, 0, 0);
+                                sanitize::Session::instance().commit(
+                                    t->impl->seq, t->impl->name, t->dev, t->meta->haloRadius,
+                                    t->impl->accessList, *t->meta, merged);
+                            }
+                        };
+                        const int32_t chunks = span.chunkCount();
+                        auto          tramp = std::make_shared<STramp>(STramp{
+                            span, fn(loader), result, dev, view,
+                            std::vector<T>(static_cast<size_t>(chunks), result.identity()),
+                            std::vector<T>(static_cast<size_t>(chunks), result.identity()), meta,
+                            {}, resultSlot, &impl});
+                        tramp->sinks.resize(static_cast<size_t>(chunks));
+                        for (auto& s : tramp->sinks) {
+                            s.configure(meta->loads.size(), span.range0(), span.range1());
+                        }
+                        LaunchRecord rec;
+                        rec.items = span.count();
+                        rec.work.run = &STramp::run;
+                        rec.work.finalize = &STramp::finalize;
+                        rec.work.ctx = tramp.get();
+                        rec.work.chunks = chunks;
+                        rec.work.sanitized = true;
+                        rec.work.owner = std::move(tramp);
+                        impl.sanRecords.push_back(std::move(rec));
+                    }
+                }
+            };
+        }
         // The combine step the Skeleton appends after the reduce kernels.
         Backend backend = grid.backend();
         c.mImpl->combine = std::make_shared<Container>(makeCombine(backend, result));
@@ -204,7 +375,13 @@ class Container
     static Container fusedFactory(std::string name, const Grid& grid, LoadingLambdaA fnA,
                                   LoadingLambdaB fnB)
     {
-        auto fused = [fnA, fnB](Loader& loader) mutable {
+        // Generic over the loader so the fused kernel can be instrumented by
+        // the access sanitizer; the constraint keeps the fused lambda only
+        // as sanitizable as its least-generic input.
+        auto fused = [fnA, fnB]<typename L>(L& loader) mutable
+            requires std::is_invocable_v<LoadingLambdaA&, L&> &&
+                     std::is_invocable_v<LoadingLambdaB&, L&>
+        {
             auto kernelA = fnA(loader);
             auto kernelB = fnB(loader);
             return [kernelA, kernelB](const auto& cell) mutable {
@@ -228,6 +405,7 @@ class Container
         c.mImpl->name = std::move(name);
         c.mImpl->kind = Kind::ScalarOp;
         c.mImpl->devCount = backend.devCount();
+        c.mImpl->seq = nextSeq();
         const double dur = 2.0 * backend.config().link.latency + 1e-6;
         c.mImpl->parser = [reads, writes](AccessList& rec) {
             for (const auto& s : reads) {
@@ -268,14 +446,30 @@ class Container
     [[nodiscard]] const Container& combineStep() const;
     [[nodiscard]] bool             isReduce() const;
 
-    /// Enqueue this container's work for one device on `stream`.
-    void launch(int dev, sys::Stream& stream, DataView view = DataView::STANDARD) const;
+    /// Enqueue this container's work for one device on `stream`. With
+    /// `sanitized` set (and a sanitizable kernel, see sanitizable()) the
+    /// instrumented trampoline is enqueued instead of the plain one.
+    void launch(int dev, sys::Stream& stream, DataView view = DataView::STANDARD,
+                bool sanitized = false) const;
 
     /// Convenience: launch on stream set 0 of `backend` for every device
     /// (Set-level manual execution; the Skeleton does this per task).
-    void run(const StreamSet& streams, DataView view = DataView::STANDARD) const;
+    void run(const StreamSet& streams, DataView view = DataView::STANDARD,
+             bool sanitized = false) const;
+
+    /// True when sanitized launches instrument this kernel: compute
+    /// containers built from a generic (`auto&`) loading lambda. Halo /
+    /// scalar containers and concrete `set::Loader&` lambdas run plain.
+    [[nodiscard]] bool sanitizable() const;
+
+    /// Creation ordinal identifying this container in sanitizer reports
+    /// (set::sanitize::Entry::seq) — stable across runs of one process.
+    [[nodiscard]] uint64_t sanitizeSeq() const;
 
    private:
+    /// Process-wide container creation counter (sanitizer report keys).
+    static uint64_t nextSeq();
+
     template <typename T>
     static Container makeCombine(Backend& backend, GlobalScalar<T> scalar)
     {
@@ -314,10 +508,27 @@ class Container
         std::vector<LaunchRecord>  records;
         std::shared_ptr<Container> combine;  ///< combine step for reductions
 
+        /// Access sanitizer (set/sanitize.hpp): creation ordinal for stable
+        /// report keys, the deferred builder of instrumented trampolines
+        /// and the records it fills (same dev * 3 + view indexing).
+        uint64_t                   seq = 0;
+        std::function<void(Impl&)> sanBuilder;
+        std::vector<LaunchRecord>  sanRecords;
+        std::once_flag             sanOnce;
+
         [[nodiscard]] const LaunchRecord& recordAt(int dev, DataView view) const
         {
             return records[static_cast<size_t>(dev * 3 + viewIndex(view))];
         }
+
+        [[nodiscard]] const LaunchRecord& sanRecordAt(int dev, DataView view) const
+        {
+            return sanRecords[static_cast<size_t>(dev * 3 + viewIndex(view))];
+        }
+
+        /// Build the sanitized trampolines once (thread-safe; no-op for
+        /// non-sanitizable containers).
+        void ensureSanitized();
 
         // lazily parsed
         bool                parsed = false;

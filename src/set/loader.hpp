@@ -57,6 +57,20 @@ class Loader
         return data.getPartition(mDevIdx, mView);
     }
 
+    /// Extract a partition WITHOUT declaring the access. The skeleton then
+    /// derives no edges or halo updates for it — this is only for data that
+    /// is provably private to the container (and is exactly the bug class
+    /// the access sanitizer reports as UndeclaredRead/UndeclaredWrite, so
+    /// any misuse shows up under NEON_SANITIZE=1).
+    template <typename DataT>
+    auto loadUnchecked(DataT& data)
+    {
+        static_assert(neon::domain::Loadable<std::remove_cvref_t<DataT>>,
+                      "Loader::loadUnchecked requires a type satisfying "
+                      "neon::domain::Loadable (see docs/domain.md)");
+        return data.getPartition(mDevIdx, mView);
+    }
+
     [[nodiscard]] bool     isParsing() const { return mRecord != nullptr; }
     [[nodiscard]] int      devIdx() const { return mDevIdx; }
     [[nodiscard]] DataView view() const { return mView; }

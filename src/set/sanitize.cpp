@@ -1,0 +1,76 @@
+#include "set/sanitize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace neon::set::sanitize {
+
+bool envEnabled()
+{
+    static const bool on = [] {
+        const char* v = std::getenv("NEON_SANITIZE");
+        const bool  enabled = v != nullptr && v[0] != '\0' && v[0] != '0';
+        if (enabled) {
+            std::fprintf(stderr, "[neon-sanitize] enabled\n");
+        }
+        return enabled;
+    }();
+    return on;
+}
+
+Session& Session::instance()
+{
+    static Session s;
+    return s;
+}
+
+void Session::commit(uint64_t seq, const std::string& name, int dev, int32_t haloRadius,
+                     const AccessList& declared, const KernelMeta& meta,
+                     const std::vector<AccessObs>& merged)
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    Entry& e = mEntries[{seq, dev}];
+    if (e.runs == 0) {
+        e.seq = seq;
+        e.container = name;
+        e.dev = dev;
+        e.haloRadius = haloRadius;
+        e.declared = declared;
+        e.loads = meta.loads;
+        e.obs.assign(meta.loads.size(), AccessObs{});
+    }
+    const size_t n = std::min(e.obs.size(), merged.size());
+    for (size_t i = 0; i < n; ++i) {
+        e.obs[i].merge(merged[i]);
+    }
+    ++e.runs;
+}
+
+std::vector<Entry> Session::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    std::vector<Entry>          out;
+    out.reserve(mEntries.size());
+    for (const auto& [key, e] : mEntries) {
+        out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+        if (a.container != b.container) {
+            return a.container < b.container;
+        }
+        if (a.dev != b.dev) {
+            return a.dev < b.dev;
+        }
+        return a.seq < b.seq;
+    });
+    return out;
+}
+
+void Session::clear()
+{
+    std::lock_guard<std::mutex> lock(mMutex);
+    mEntries.clear();
+}
+
+}  // namespace neon::set::sanitize

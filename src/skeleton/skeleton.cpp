@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "analysis/env.hpp"
 #include "analysis/graph_lint.hpp"
+#include "analysis/sanitizer.hpp"
 #include "analysis/node_meta.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
@@ -572,6 +574,14 @@ CompiledSchedule Skeleton::sequence(std::vector<set::Container> containers,
     state->name = options.name;
     state->options = options;
 
+    // NEON_SANITIZE=1: every launch through this skeleton runs the
+    // instrumented trampolines; an atexit diff fails the process with exit
+    // code 4 on contract violations (tools/neon-lint --sanitize).
+    if (analysis::sanitizeEnvEnabled()) {
+        state->options.sanitize = true;
+        analysis::installSanitizeExitHook();
+    }
+
     // Read/write uid sets for the per-uid inter-run chains. Collected from
     // the user containers (cache-hit or not): halo/combine nodes the
     // pipeline adds touch the same uids.
@@ -647,6 +657,33 @@ analysis::AnalysisReport Skeleton::validate() const
     NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before validate()");
     return analysis::lintSchedule(s.state->graph, s.state->tasks, s.state->nStreams,
                                   s.backend.devCount());
+}
+
+analysis::AnalysisReport Skeleton::validate(ValidateMode mode)
+{
+    analysis::AnalysisReport rep = std::as_const(*this).validate();
+    if (mode == ValidateMode::Static) {
+        return rep;
+    }
+    // Deep: run the active schedule once through the sanitized trampolines
+    // (this advances field state like any run), then diff the observations
+    // scoped to exactly this graph's containers.
+    Impl& s = *mImpl;
+    auto  state = s.state;
+    const bool prev = state->options.sanitize;
+    state->options.sanitize = true;
+    run();
+    sync();
+    state->options.sanitize = prev;
+    std::vector<uint64_t> seqs;
+    for (int id = 0; id < state->graph.nodeCount(); ++id) {
+        const GraphNode& n = state->graph.node(id);
+        if (n.alive) {
+            seqs.push_back(n.container.sanitizeSeq());
+        }
+    }
+    rep.merge(analysis::AccessSanitizer::diff(seqs));
+    return rep;
 }
 
 void Skeleton::debugMutateGraph(const std::function<void(Graph&)>& fn)
@@ -837,7 +874,7 @@ void Skeleton::runBody(int runId, const RunScope& scope)
                         break;
                 }
             }
-            n.container.launch(d, stream, n.view);
+            n.container.launch(d, stream, n.view, st.options.sanitize);
             if (n.needsEvent) {
                 stream.record(completion[static_cast<size_t>(t.nodeId)][d]);
             }

@@ -69,6 +69,12 @@ struct SequenceOptions
     /// Consult/populate the process-wide schedule compilation cache. Off
     /// forces a full recompile (benchmarking, debugging the pipeline).
     bool cache = true;
+    /// Run every launch through the access-sanitizer trampolines
+    /// (set/sanitize.hpp): kernels observe their own reads/writes and
+    /// AccessSanitizer::diff() can be checked after sync(). Also forced on
+    /// by NEON_SANITIZE=1 (which additionally fails the process with exit
+    /// code 4 on violations).
+    bool sanitize = false;
 
     SequenceOptions& withName(std::string n)
     {
@@ -91,9 +97,24 @@ struct SequenceOptions
         cache = on;
         return *this;
     }
+    SequenceOptions& withSanitize(bool on = true)
+    {
+        sanitize = on;
+        return *this;
+    }
 };
 
 class Skeleton;
+
+/// How much Skeleton::validate() checks. Static is the PR 3 graph lint
+/// (pure, no execution). Deep additionally executes the pipeline once with
+/// sanitizer-instrumented kernels and diffs what they actually did against
+/// their declarations — it therefore advances field state like any run().
+enum class ValidateMode : uint8_t
+{
+    Static,
+    Deep,
+};
 
 /// Per-run execution scope: where a run's streams live and which service
 /// job it belongs to. Default-constructed == the classic single-tenant
@@ -225,6 +246,13 @@ class Skeleton
     /// level/stream/task-order consistency and event-wait completeness.
     /// Clean report == the schedule provably orders every conflict.
     [[nodiscard]] analysis::AnalysisReport validate() const;
+
+    /// validate(Static) == validate(). validate(Deep) merges the static
+    /// lint with an access-sanitizer pass: the task list runs once with
+    /// instrumented kernels (observable side effects on field state, like
+    /// any run), then observed accesses are diffed against the declared
+    /// ones for exactly this graph's containers (docs/analysis.md).
+    [[nodiscard]] analysis::AnalysisReport validate(ValidateMode mode);
 
     // --- fault-injection hooks (tests/analysis; not part of the API) -------
     /// Mutate the graph (drop an edge, kill a node, ...) and reschedule, as

@@ -67,7 +67,7 @@ CgResult cgSolve(const Grid&                                          grid,
 
     // --- init: r = b - A x ; rsold = r.r ; bNorm = b.b -------------------
     auto applyX = makeApply(x, Ap);
-    auto initR = grid.newContainer("cg.initR", [b, Ap, r, card](set::Loader& l) mutable {
+    auto initR = grid.newContainer("cg.initR", [b, Ap, r, card](auto& l) mutable {
         auto bp = l.load(b, Access::READ);
         auto ap = l.load(Ap, Access::READ);
         auto rp = l.load(r, Access::WRITE);

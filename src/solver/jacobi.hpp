@@ -53,7 +53,7 @@ JacobiResult jacobiSolve(const Grid&                                          gr
     // One iteration: Ax = A x; x += omega*Dinv*(b - Ax); rInf = |b - Ax|_inf
     auto applyX = makeApply(x, Ax);
     const T    scale = static_cast<T>(options.omega * options.diagInverse);
-    auto update = grid.newContainer("jacobi.update", [x, b, Ax, scale, card](set::Loader& l) mutable {
+    auto update = grid.newContainer("jacobi.update", [x, b, Ax, scale, card](auto& l) mutable {
         auto xp = l.load(x, Access::WRITE);
         auto bp = l.load(b, Access::READ);
         auto ap = l.load(Ax, Access::READ);
@@ -64,7 +64,7 @@ JacobiResult jacobiSolve(const Grid&                                          gr
         };
     });
     auto residual = Container::reduceFactory(
-        "jacobi.rInf", grid, rInf, [b, Ax, rInf, card](set::Loader& l) mutable {
+        "jacobi.rInf", grid, rInf, [b, Ax, rInf, card](auto& l) mutable {
             auto bp = l.load(b, Access::READ, Compute::REDUCE);
             auto ap = l.load(Ax, Access::READ, Compute::REDUCE);
             return [=](const auto& cell, T& acc) {

@@ -39,6 +39,7 @@ struct KernelWork
     ChunkFn finalize = nullptr;  ///< optional, after all chunks (reduce tree)
     void*   ctx = nullptr;
     int32_t chunks = 0;
+    bool    sanitized = false;  ///< access-sanitizer trampoline (set/sanitize.hpp)
     std::shared_ptr<void> owner;
 
     [[nodiscard]] explicit operator bool() const { return run != nullptr; }

@@ -58,6 +58,13 @@ struct MetaAccess
     bool        scalar = false;       ///< GlobalScalar (global/partial segments)
     bool        stencilHalo = false;  ///< stencil read of a halo-carrying field
     std::string name;
+    /// Stencil halo reads only: per device, whether the lower/upper halo
+    /// half is actually fed by a neighbour (derived from HaloOps::peers —
+    /// segment-list fields like BField can have empty boundaries toward a
+    /// neighbour, and then no segments ever land in that halo half). Empty
+    /// vectors mean "unknown": consumers fall back to the dense ±1 rule.
+    std::vector<uint8_t> haloLoFed;
+    std::vector<uint8_t> haloHiFed;
 };
 
 enum class MetaNodeKind : uint8_t

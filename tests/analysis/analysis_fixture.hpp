@@ -36,7 +36,7 @@ struct Rig
     /// dst = value (pure writer).
     set::Container fill(const std::string& name, dgrid::DField<double> dst, double value)
     {
-        return grid.newContainer(name, [dst, value](set::Loader& l) mutable {
+        return grid.newContainer(name, [dst, value](auto& l) mutable {
             auto dp = l.load(dst, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable { dp(c) = value; };
         });
@@ -46,7 +46,7 @@ struct Rig
     set::Container copy(const std::string& name, dgrid::DField<double> src,
                         dgrid::DField<double> dst)
     {
-        return grid.newContainer(name, [src, dst](set::Loader& l) mutable {
+        return grid.newContainer(name, [src, dst](auto& l) mutable {
             auto sp = l.load(src, Access::READ);
             auto dp = l.load(dst, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable { dp(c) = sp(c); };
@@ -57,7 +57,7 @@ struct Rig
     set::Container add(const std::string& name, dgrid::DField<double> a,
                        dgrid::DField<double> b, dgrid::DField<double> dst)
     {
-        return grid.newContainer(name, [a, b, dst](set::Loader& l) mutable {
+        return grid.newContainer(name, [a, b, dst](auto& l) mutable {
             auto ap = l.load(a, Access::READ);
             auto bp = l.load(b, Access::READ);
             auto dp = l.load(dst, Access::WRITE);
@@ -69,7 +69,7 @@ struct Rig
     set::Container stencil(const std::string& name, dgrid::DField<double> src,
                            dgrid::DField<double> dst)
     {
-        return grid.newContainer(name, [src, dst](set::Loader& l) mutable {
+        return grid.newContainer(name, [src, dst](auto& l) mutable {
             auto sp = l.load(src, Access::READ, Compute::STENCIL);
             auto dp = l.load(dst, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable {

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "analysis_fixture.hpp"
+#include "analysis/node_meta.hpp"
+#include "bgrid/bfield.hpp"
+#include "bgrid/bgrid.hpp"
 
 namespace neon::analysis {
 
@@ -197,6 +200,105 @@ TEST(GraphLint, DetectsCycle)
     g.addEdge(1, 0, EdgeKind::WaW);  // close the loop: r -> w
     const AnalysisReport rep = lintGraph(g, 1);
     EXPECT_EQ(rep.count(ViolationKind::GraphCycle), 1u) << rep.toString();
+}
+
+namespace {
+
+/// in -> out one-point z-stencil on a BGrid plus a writer seeding `in`.
+std::vector<Container> bgridStencilSeq(bgrid::BGrid& grid, bgrid::BField<double>& in,
+                                       bgrid::BField<double>& out)
+{
+    auto fill = grid.newContainer("fill", [in](auto& l) mutable {
+        auto p = l.load(in, Access::WRITE);
+        return [=](const auto& c) mutable { p(c) = 1.0; };
+    });
+    auto sten = grid.newContainer("sten", [in, out](auto& l) mutable {
+        auto sp = l.load(in, Access::READ, Compute::STENCIL);
+        auto dp = l.load(out, Access::WRITE);
+        return [=](const auto& c) mutable { dp(c) = sp.nghVal(c, {0, 0, 1}); };
+    });
+    return {fill, sten};
+}
+
+}  // namespace
+
+TEST(GraphLint, SparseBGridWithEmptyBoundaryClaimsNoHaloSegments)
+{
+    // Two active slabs separated by a dead middle: the device cut lands in
+    // the inactive region, so no halo segment has any cells and peers() is
+    // empty everywhere. The access model must not claim halo reads the
+    // hardware never performs (that over-approximation previously pinned
+    // spurious halo<->compute conflicts on every sparse multi-dev graph).
+    set::Backend backend = set::Backend::cpu(2);
+    bgrid::BGrid grid(
+        backend, {8, 8, 32},
+        [](const index_3d& g) { return g.z < 4 || g.z >= 28; }, Stencil::laplace7(), 4);
+    auto in = grid.newField<double>("in", 1, 0.0);
+    auto out = grid.newField<double>("out", 1, 0.0);
+
+    skeleton::Skeleton skl(backend);
+    skl.sequence(bgridStencilSeq(grid, in, out), "sparse");
+    EXPECT_TRUE(skl.validate().clean()) << skl.validate().toString();
+
+    const skeleton::Graph& g = skl.graph();
+    const int              haloId = findHaloNode(g);
+    ASSERT_GE(haloId, 0);
+    const sys::ContainerMeta hm = metaFor(g.node(haloId), 2);
+    ASSERT_EQ(hm.haloPeers.size(), 2u);
+    EXPECT_TRUE(hm.haloPeers[0].empty());
+    EXPECT_TRUE(hm.haloPeers[1].empty());
+    for (int dev = 0; dev < 2; ++dev) {
+        const AccessSets hs = segmentsFor(hm, dev, 2);
+        EXPECT_TRUE(hs.reads.empty()) << "halo node dev " << dev;
+        EXPECT_TRUE(hs.writes.empty()) << "halo node dev " << dev;
+    }
+
+    const int stenId = findNode(g, [](const skeleton::GraphNode& n) {
+        return n.kind() == set::Container::Kind::Compute &&
+               n.label().find("sten") != std::string::npos;
+    });
+    ASSERT_GE(stenId, 0);
+    const sys::ContainerMeta cm = metaFor(g.node(stenId), 2);
+    for (int dev = 0; dev < 2; ++dev) {
+        for (const Segment& s : segmentsFor(cm, dev, 2).reads) {
+            EXPECT_NE(s.part, Part::HaloLo) << "dev " << dev;
+            EXPECT_NE(s.part, Part::HaloHi) << "dev " << dev;
+        }
+    }
+}
+
+TEST(GraphLint, DenseBGridClaimsOnlyFedHaloHalves)
+{
+    // Fully active grid: each device has exactly one neighbour, so the edge
+    // devices claim one halo half each — not both (the dense over-claim the
+    // per-device feed tracking replaces).
+    set::Backend backend = set::Backend::cpu(2);
+    bgrid::BGrid grid(
+        backend, {8, 8, 16}, [](const index_3d&) { return true; }, Stencil::laplace7(), 4);
+    auto in = grid.newField<double>("in", 1, 0.0);
+    auto out = grid.newField<double>("out", 1, 0.0);
+
+    skeleton::Skeleton skl(backend);
+    skl.sequence(bgridStencilSeq(grid, in, out), "dense");
+    EXPECT_TRUE(skl.validate().clean()) << skl.validate().toString();
+
+    const int stenId = findNode(skl.graph(), [](const skeleton::GraphNode& n) {
+        return n.kind() == set::Container::Kind::Compute &&
+               n.label().find("sten") != std::string::npos;
+    });
+    ASSERT_GE(stenId, 0);
+    const sys::ContainerMeta cm = metaFor(skl.graph().node(stenId), 2);
+
+    auto claims = [&](int dev, Part part) {
+        const AccessSets sets = segmentsFor(cm, dev, 2);
+        return std::find_if(sets.reads.begin(), sets.reads.end(), [&](const Segment& s) {
+                   return s.part == part && s.dev == dev;
+               }) != sets.reads.end();
+    };
+    EXPECT_FALSE(claims(0, Part::HaloLo));  // nothing below device 0
+    EXPECT_TRUE(claims(0, Part::HaloHi));   // fed by device 1
+    EXPECT_TRUE(claims(1, Part::HaloLo));   // fed by device 0
+    EXPECT_FALSE(claims(1, Part::HaloHi));  // nothing above device 1
 }
 
 }  // namespace neon::analysis

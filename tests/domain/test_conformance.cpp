@@ -87,7 +87,7 @@ set::Container laplace(Grid& grid, Field& in, Field& out)
 {
     // Fields captured by value: the loading lambda outlives this scope
     // (it re-runs at every launch).
-    return grid.newContainer("laplace", [in, out](set::Loader& l) mutable {
+    return grid.newContainer("laplace", [in, out](auto& l) mutable {
         auto ip = l.load(in, Access::READ, Compute::STENCIL);
         auto op = l.load(out, Access::WRITE);
         return [=](const auto& cell) mutable {

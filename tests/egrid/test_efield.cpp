@@ -126,7 +126,7 @@ TEST(EField, LaplacianMatchesDenseGridOnFullBox)
 
     // The same generic lambda body for both grids.
     auto makeLaplace = [](auto& grid, auto& in, auto& out) {
-        return grid.newContainer("laplace", [&](set::Loader& l) {
+        return grid.newContainer("laplace", [&](auto& l) {
             auto ip = l.load(in, Access::READ, Compute::STENCIL);
             auto op = l.load(out, Access::WRITE);
             return [=](const auto& cell) mutable {

@@ -54,7 +54,7 @@ struct MiniApp
         auto src = fields[0];
         auto dst = fields[1];
         std::vector<Container> seq;
-        seq.push_back(grid.newContainer("diffuse", [src, dst](set::Loader& l) mutable {
+        seq.push_back(grid.newContainer("diffuse", [src, dst](auto& l) mutable {
             auto sp = l.load(src, Access::READ, Compute::STENCIL);
             auto dp = l.load(dst, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable {
@@ -65,7 +65,7 @@ struct MiniApp
                 dp(c) = sp(c) + 0.05 * acc;
             };
         }));
-        seq.push_back(grid.newContainer("relax", [src, dst](set::Loader& l) mutable {
+        seq.push_back(grid.newContainer("relax", [src, dst](auto& l) mutable {
             auto sp = l.load(dst, Access::READ);
             auto dp = l.load(src, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "dgrid/dfield.hpp"
 #include "patterns/blas.hpp"
 #include "skeleton/schedule_cache.hpp"
@@ -127,6 +128,7 @@ struct ExecMode
     bool expectCacheHit = false;  ///< assert sequence() was a cache hit
     bool lint = false;            ///< assert validate() is clean
     uint64_t faultSeed = 0;       ///< != 0: fixed-seed transient FaultPlan
+    bool sanitize = false;        ///< run instrumented; assert a clean diff
 };
 
 Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& mode)
@@ -166,7 +168,7 @@ Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& m
             case 0: {  // map: dst = 0.9*dst + s0*src + 0.01
                 auto s = s0;
                 seq.push_back(
-                    grid.newContainer("map" + tag, [src, dst, s](set::Loader& l) mutable {
+                    grid.newContainer("map" + tag, [src, dst, s](auto& l) mutable {
                         auto sp = l.load(src, Access::READ);
                         auto dp = l.load(dst, Access::WRITE);
                         auto sv = l.load(s, Access::READ);
@@ -178,7 +180,7 @@ Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& m
             }
             case 1: {  // stencil: dst = src + 0.05 * laplacian(src)
                 seq.push_back(
-                    grid.newContainer("sten" + tag, [src, dst](set::Loader& l) mutable {
+                    grid.newContainer("sten" + tag, [src, dst](auto& l) mutable {
                         auto sp = l.load(src, Access::READ, Compute::STENCIL);
                         auto dp = l.load(dst, Access::WRITE);
                         return [=](const dgrid::DCell& c) mutable {
@@ -214,13 +216,17 @@ Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& m
                                                             .withName("fuzz")
                                                             .withOcc(fc.occ)
                                                             .withMaxStreams(fc.maxStreams)
-                                                            .withCache(mode.useCache));
+                                                            .withCache(mode.useCache)
+                                                            .withSanitize(mode.sanitize));
     if (mode.expectCacheHit) {
         EXPECT_TRUE(compiled.cacheHit()) << "expected a schedule-cache hit";
     }
     if (mode.lint) {
         const auto lint = skl.validate();
         EXPECT_TRUE(lint.clean()) << lint.toString();
+    }
+    if (mode.sanitize) {
+        analysis::AccessSanitizer::reset();
     }
     for (int r = 0; r < fc.runs; ++r) {
         skl.run();
@@ -229,6 +235,11 @@ Snapshot execute(const FuzzCase& fc, Backend::EngineKind kind, const ExecMode& m
 
     const auto races = analyzer.raceReport();
     EXPECT_TRUE(races.clean()) << races.toString();
+    if (mode.sanitize) {
+        const auto diff = analysis::AccessSanitizer::diff();
+        EXPECT_TRUE(diff.clean()) << diff.toString();
+        analysis::AccessSanitizer::reset();
+    }
 
     Snapshot snap;
     for (auto& f : fields) {
@@ -290,6 +301,19 @@ void runSeed(unsigned seed)
     const Snapshot poolSnap =
         execute(alt, Backend::EngineKind::Threaded, ExecMode{true, true, false, 0});
     expectBitwiseEqual(seqSnap, poolSnap, "host-pool width", seed);
+
+    // Sanitizer leg (every 4th seed: the instrumented trampolines roughly
+    // double kernel cost): a sanitize-on run must report zero violations —
+    // the generated kernels never stray from their declarations — and
+    // produce bitwise-identical field state, on both engines.
+    if (seed % 4 == 0) {
+        ExecMode sanMode{true, true, false, 0};
+        sanMode.sanitize = true;
+        const Snapshot sanSeq = execute(fc, Backend::EngineKind::Sequential, sanMode);
+        expectBitwiseEqual(seqSnap, sanSeq, "sanitize(sequential)", seed);
+        const Snapshot sanThr = execute(fc, Backend::EngineKind::Threaded, sanMode);
+        expectBitwiseEqual(seqSnap, sanThr, "sanitize(threaded)", seed);
+    }
 
     // Fault-ordinal equality: decisions are a pure function of the plan
     // seed and each op's (device, stream, kind, per-stream ordinal, run),

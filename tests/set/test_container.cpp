@@ -27,7 +27,7 @@ TEST(Container, ParseRecordsMapAccesses)
     auto x = grid.newField<float>("x", 1, 0.0f);
     auto y = grid.newField<float>("y", 1, 0.0f);
 
-    auto c = grid.newContainer("axpy", [&](set::Loader& l) {
+    auto c = grid.newContainer("axpy", [&](auto& l) {
         auto xp = l.load(x, Access::READ);
         auto yp = l.load(y, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { yp(cell) += 2.0f * xp(cell); };
@@ -51,7 +51,7 @@ TEST(Container, StencilReadCarriesHaloOpsAndPattern)
     auto x = grid.newField<float>("x", 1, 0.0f);
     auto y = grid.newField<float>("y", 1, 0.0f);
 
-    auto c = grid.newContainer("laplace", [&](set::Loader& l) {
+    auto c = grid.newContainer("laplace", [&](auto& l) {
         auto xp = l.load(x, Access::READ, Compute::STENCIL);
         auto yp = l.load(y, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable {
@@ -75,7 +75,7 @@ TEST(Container, CostHintSumsFieldBytes)
     auto x = grid.newField<float>("x", 3, 0.0f);   // 12 B/cell
     auto y = grid.newField<double>("y", 1, 0.0);   // 8 B/cell
 
-    auto c = grid.newContainer("op", [&](set::Loader& l) {
+    auto c = grid.newContainer("op", [&](auto& l) {
         auto xp = l.load(x, Access::READ);
         auto yp = l.load(y, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { yp(cell) = xp(cell, 0); };
@@ -87,7 +87,7 @@ TEST(Container, MapExecutesOnAllDevices)
 {
     auto grid = makeGrid(3, {4, 4, 9});
     auto f = grid.newField<int>("f", 1, -1);
-    auto c = grid.newContainer("setZ", [&](set::Loader& l) {
+    auto c = grid.newContainer("setZ", [&](auto& l) {
         auto fp = l.load(f, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable {
             fp(cell) = fp.globalIdx(cell).z;
@@ -105,7 +105,7 @@ TEST(Container, ViewSplitCoversStandardExactlyOnce)
 {
     auto grid = makeGrid(4, {4, 4, 16});
     auto f = grid.newField<int>("f", 1, 0);
-    auto c = grid.newContainer("inc", [&](set::Loader& l) {
+    auto c = grid.newContainer("inc", [&](auto& l) {
         auto fp = l.load(f, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { fp(cell) += 1; };
     });
@@ -123,7 +123,7 @@ TEST(Container, ItemsMatchSpanCounts)
 {
     auto grid = makeGrid(2, {4, 4, 8});
     auto f = grid.newField<int>("f", 1, 0);
-    auto c = grid.newContainer("noop", [&](set::Loader& l) {
+    auto c = grid.newContainer("noop", [&](auto& l) {
         auto fp = l.load(f, Access::READ);
         return [=](const dgrid::DCell&) {};
     });

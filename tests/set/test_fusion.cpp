@@ -23,12 +23,12 @@ TEST(Fusion, FusedMapsMatchSequentialMaps)
     a.forEachHost([](const index_3d& g, int, double& v) { v = g.x + g.z; });
     a.updateDev();
 
-    auto mapOne = [&](Loader& l) {
+    auto mapOne = [&](auto& l) {
         auto ap = l.load(a, Access::READ);
         auto bp = l.load(b, Access::WRITE);
         return [=](const dgrid::DCell& c) mutable { bp(c) = 2.0 * ap(c); };
     };
-    auto mapTwo = [&](Loader& l) {
+    auto mapTwo = [&](auto& l) {
         auto bp = l.load(b, Access::WRITE);
         return [=](const dgrid::DCell& c) mutable { bp(c) += 1.0; };
     };
@@ -53,12 +53,12 @@ TEST(Fusion, ParseSeesUnionOfAccesses)
 
     auto fused = Container::fusedFactory(
         "f", grid,
-        [&](Loader& l) {
+        [&](auto& l) {
             auto ap = l.load(a, Access::READ);
             auto bp = l.load(b, Access::WRITE);
             return [=](const dgrid::DCell& cell) mutable { bp(cell) = ap(cell); };
         },
-        [&](Loader& l) {
+        [&](auto& l) {
             auto bp = l.load(b, Access::READ);
             auto cp = l.load(c, Access::WRITE);
             return [=](const dgrid::DCell& cell) mutable { cp(cell) = bp(cell); };
@@ -81,12 +81,12 @@ TEST(Fusion, SavesOneKernelLaunchInVirtualTime)
         auto grid = dgrid::DGrid(backend, {32, 32, 32}, Stencil::laplace7());
         auto a = grid.newField<float>("a", 1, 0.0f);
         auto b = grid.newField<float>("b", 1, 0.0f);
-        auto one = [&](Loader& l) {
+        auto one = [&](auto& l) {
             auto ap = l.load(a, Access::READ);
             auto bp = l.load(b, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable { bp(c) = ap(c); };
         };
-        auto two = [&](Loader& l) {
+        auto two = [&](auto& l) {
             auto bp = l.load(b, Access::WRITE);
             return [=](const dgrid::DCell& c) mutable { bp(c) *= 2.0f; };
         };

@@ -50,7 +50,7 @@ TEST(GlobalScalar, ReduceContainerComputesDotProduct)
     y.updateDev();
 
     GlobalScalar<double> result(backend, "dot", 0.0);
-    auto dot = Container::reduceFactory("dot", grid, result, [&](set::Loader& l) {
+    auto dot = Container::reduceFactory("dot", grid, result, [&](auto& l) {
         auto xp = l.load(x, Access::READ, Compute::REDUCE);
         auto yp = l.load(y, Access::READ, Compute::REDUCE);
         return [=](const dgrid::DCell& cell, double& acc) { acc += xp(cell) * yp(cell); };
@@ -76,7 +76,7 @@ TEST(GlobalScalar, ReduceOverViewsMatchesStandard)
     GlobalScalar<double> sumStd(backend, "s1", 0.0);
     GlobalScalar<double> sumSplit(backend, "s2", 0.0);
     auto makeSum = [&](GlobalScalar<double> out) {
-        return Container::reduceFactory("sum", grid, out, [&x](set::Loader& l) {
+        return Container::reduceFactory("sum", grid, out, [&x](auto& l) {
             auto xp = l.load(x, Access::READ, Compute::REDUCE);
             return [=](const dgrid::DCell& cell, double& acc) { acc += xp(cell); };
         });

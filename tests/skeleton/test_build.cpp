@@ -37,7 +37,7 @@ struct Fig4App
           r(grid.backend(), "r", 0.0f)
     {
         axpy = patterns::axpy(grid, a, Y, X, "axpy");
-        laplace = grid.newContainer("laplace", [this](set::Loader& l) {
+        laplace = grid.newContainer("laplace", [this](auto& l) {
             auto xp = l.load(X, Access::READ, Compute::STENCIL);
             auto yp = l.load(Y, Access::WRITE);
             return [=](const dgrid::DCell& cell) mutable {

@@ -87,12 +87,12 @@ RunResult runPipeline(int nDev, Occ occ, Backend::EngineKind engine,
     A.forEachHost([](const index_3d& g, int, double& v) { v = initA(g); });
     A.updateDev();
 
-    auto mapB = grid.newContainer("mapB", [&](set::Loader& l) {
+    auto mapB = grid.newContainer("mapB", [&](auto& l) {
         auto a = l.load(A, Access::READ);
         auto b = l.load(B, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { b(cell) = a(cell) + 1.0; };
     });
-    auto stencilC = grid.newContainer("stencilC", [&](set::Loader& l) {
+    auto stencilC = grid.newContainer("stencilC", [&](auto& l) {
         auto b = l.load(B, Access::READ, Compute::STENCIL);
         auto c = l.load(C, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable {
@@ -195,12 +195,12 @@ TEST(SkeletonVtime, TraceShowsCommunicationComputationOverlap)
     auto           B = grid.newField<double>("B", 1, 0.0);
     auto           C = grid.newField<double>("C", 1, 0.0);
 
-    auto stencilC = grid.newContainer("stencil", [&](set::Loader& l) {
+    auto stencilC = grid.newContainer("stencil", [&](auto& l) {
         auto b = l.load(B, Access::READ, Compute::STENCIL);
         auto c = l.load(C, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { c(cell) = b.nghVal(cell, {0, 0, 1}); };
     });
-    auto mapB = grid.newContainer("map", [&](set::Loader& l) {
+    auto mapB = grid.newContainer("map", [&](auto& l) {
         auto c = l.load(C, Access::READ);
         auto b = l.load(B, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { b(cell) = c(cell) + 1.0; };
@@ -244,7 +244,7 @@ TEST(SkeletonApi, MismatchedBackendIsRejected)
     // skeleton: its partitions and spans were sized for the wrong backend.
     dgrid::DGrid grid(Backend::cpu(2), {4, 4, 8}, Stencil::laplace7());
     auto         f = grid.newField<double>("f", 1, 0.0);
-    auto c = grid.newContainer("touch", [&](set::Loader& l) {
+    auto c = grid.newContainer("touch", [&](auto& l) {
         auto fp = l.load(f, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { fp(cell) = 1.0; };
     });
@@ -257,7 +257,7 @@ TEST(SkeletonApi, ReportMentionsTasksAndStreams)
     Backend      b = Backend::cpu(2);
     dgrid::DGrid grid(b, {4, 4, 8}, Stencil::laplace7());
     auto         f = grid.newField<double>("f", 1, 0.0);
-    auto c = grid.newContainer("touch", [&](set::Loader& l) {
+    auto c = grid.newContainer("touch", [&](auto& l) {
         auto fp = l.load(f, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { fp(cell) = 1.0; };
     });

@@ -29,12 +29,12 @@ struct Pipeline
     {
         auto B = grid.newField<double>("B", 1, 0.0);
         auto C = grid.newField<double>("C", 1, 0.0);
-        auto mapB = grid.newContainer("map", [=](set::Loader& l) mutable {
+        auto mapB = grid.newContainer("map", [=](auto& l) mutable {
             auto c = l.load(C, Access::READ);
             auto b = l.load(B, Access::WRITE);
             return [=](const dgrid::DCell& cell) mutable { b(cell) = c(cell) + 1.0; };
         });
-        auto stencilC = grid.newContainer("stencil", [=](set::Loader& l) mutable {
+        auto stencilC = grid.newContainer("stencil", [=](auto& l) mutable {
             auto b = l.load(B, Access::READ, Compute::STENCIL);
             auto c = l.load(C, Access::WRITE);
             return

@@ -15,7 +15,7 @@ set::Container dummy(const char* name)
 {
     static dgrid::DGrid grid(set::Backend::cpu(1), {2, 2, 2}, Stencil::laplace7());
     static auto         f = grid.newField<float>("f", 1, 0.0f);
-    return grid.newContainer(name, [](set::Loader& l) {
+    return grid.newContainer(name, [](auto& l) {
         auto fp = l.load(f, Access::READ);
         return [=](const dgrid::DCell&) {};
     });

@@ -68,7 +68,7 @@ struct Pipeline
             switch (op) {
                 case 0: {  // map: dst = 0.9*dst + s0*src + 0.01
                     auto s = s0;
-                    seq.push_back(grid.newContainer("map" + tag, [src, dst, s](set::Loader& l) mutable {
+                    seq.push_back(grid.newContainer("map" + tag, [src, dst, s](auto& l) mutable {
                         auto sp = l.load(src, Access::READ);
                         auto dp = l.load(dst, Access::WRITE);
                         auto sv = l.load(s, Access::READ);
@@ -79,7 +79,7 @@ struct Pipeline
                     break;
                 }
                 case 1: {  // stencil: dst = src + 0.05 * laplacian(src)
-                    seq.push_back(grid.newContainer("sten" + tag, [src, dst](set::Loader& l) mutable {
+                    seq.push_back(grid.newContainer("sten" + tag, [src, dst](auto& l) mutable {
                         auto sp = l.load(src, Access::READ, Compute::STENCIL);
                         auto dp = l.load(dst, Access::WRITE);
                         return [=](const dgrid::DCell& c) mutable {

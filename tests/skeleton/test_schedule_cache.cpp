@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "dgrid/dfield.hpp"
 #include "dgrid/dgrid.hpp"
 #include "patterns/blas.hpp"
@@ -45,12 +46,12 @@ struct Pipeline
             v = 0.01 * g.x + 0.02 * g.y + 0.005 * g.z + 0.1;
         });
         A.updateDev();
-        auto mapB = grid.newContainer("mapB", [this](set::Loader& l) {
+        auto mapB = grid.newContainer("mapB", [this](auto& l) {
             auto a = l.load(A, Access::READ);
             auto b = l.load(B, Access::WRITE);
             return [=](const dgrid::DCell& cell) mutable { b(cell) = a(cell) + 1.0; };
         });
-        auto stencilC = grid.newContainer("stencilC", [this](set::Loader& l) {
+        auto stencilC = grid.newContainer("stencilC", [this](auto& l) {
             auto b = l.load(B, Access::READ, Compute::STENCIL);
             auto c = l.load(C, Access::WRITE);
             return [=](const dgrid::DCell& cell) mutable {
@@ -365,6 +366,71 @@ TEST(SequenceOptionsApi, LegacyOverloadDelegatesToSequenceOptions)
         s2.sequence(p2.ops, "legacy2", Options().withOcc(Occ::STANDARD).withMaxStreams(3));
     EXPECT_TRUE(c2.cacheHit());
     EXPECT_EQ(c.structuralHash(), c2.structuralHash());
+}
+
+TEST(ScheduleCache, CachedReplayLintsIdenticallyToColdCompile)
+{
+    resetCache();
+    Backend backend = Backend::cpu(2);
+
+    Pipeline p1(backend, {16, 16, 32});
+    Skeleton s1(backend);
+    const CompiledSchedule c1 = s1.sequence(p1.ops, SequenceOptions().withName("cold"));
+    EXPECT_FALSE(c1.cacheHit());
+    const analysis::AnalysisReport r1 = c1.lint();
+    EXPECT_TRUE(r1.clean()) << r1.toString();
+
+    Pipeline p2(backend, {16, 16, 32});
+    Skeleton s2(backend);
+    const CompiledSchedule c2 = s2.sequence(p2.ops, SequenceOptions().withName("replay"));
+    EXPECT_TRUE(c2.cacheHit());
+    const analysis::AnalysisReport r2 = c2.lint();
+
+    // The replayed schedule must lint exactly like the cold compile: same
+    // violations (none), same pair/op counters, same rendering.
+    EXPECT_TRUE(r2.clean()) << r2.toString();
+    EXPECT_EQ(r1.opsAnalyzed, r2.opsAnalyzed);
+    EXPECT_EQ(r1.pairsChecked, r2.pairsChecked);
+    EXPECT_EQ(r1.toString(), r2.toString());
+}
+
+TEST(ScheduleCache, CachedReplayKeepsSanitizerAttribution)
+{
+    // A recipe replay rebinds graph nodes onto the *new* containers through
+    // NodeOrigin; the access sanitizer must therefore instrument the new
+    // kernels and attribute their violations identically to a cold compile.
+    resetCache();
+    Backend backend = Backend::cpu(2);
+
+    auto runDeep = [&backend](const char* name) {
+        dgrid::DGrid          grid(backend, {8, 8, 16}, Stencil::laplace7());
+        dgrid::DField<double> f = grid.newField<double>("f", 1, 1.0);
+        auto sneaky = grid.newContainer("sneaky", [f](auto& l) mutable {
+            auto p = l.load(f, Access::READ);
+            return [=](const dgrid::DCell& c) mutable { p(c) = 2.0; };
+        });
+        analysis::AccessSanitizer::reset();
+        Skeleton skl(backend);
+        skl.sequence({sneaky}, SequenceOptions().withName(name));
+        const bool hit = skl.compiled().cacheHit();
+        const analysis::AnalysisReport rep = skl.validate(ValidateMode::Deep);
+        analysis::AccessSanitizer::reset();
+        std::string attributed;
+        for (const auto& v : rep.violations) {
+            if (v.kind == analysis::ViolationKind::WriteViaReadAccess) {
+                attributed = v.containerA;
+            }
+        }
+        return std::make_pair(hit, attributed);
+    };
+
+    const auto cold = runDeep("cold");
+    EXPECT_FALSE(cold.first);
+    EXPECT_EQ(cold.second, "sneaky");
+
+    const auto replay = runDeep("replay");
+    EXPECT_TRUE(replay.first);
+    EXPECT_EQ(replay.second, "sneaky");
 }
 
 }  // namespace neon::skeleton

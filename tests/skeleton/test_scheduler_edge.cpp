@@ -36,15 +36,15 @@ struct WideApp
         for (size_t i = 0; i < fields.size(); ++i) {
             auto f = fields[i];
             const double v = static_cast<double>(i + 1);
-            seq.push_back(grid.newContainer("map" + std::to_string(i), [f, v](set::Loader& l) mutable {
+            seq.push_back(grid.newContainer("map" + std::to_string(i), [f, v](auto& l) mutable {
                 auto fp = l.load(f, Access::WRITE);
                 return [=](const dgrid::DCell& c) mutable { fp(c) = v; };
             }));
         }
         auto all = fields;
         auto sum = fields[0];
-        seq.push_back(grid.newContainer("gather", [all, sum](set::Loader& l) mutable {
-            std::vector<dgrid::DPartition<double>> parts;
+        seq.push_back(grid.newContainer("gather", [all, sum](auto& l) mutable {
+            std::vector<decltype(l.load(all[0], Access::READ))> parts;
             for (auto& f : all) {
                 parts.push_back(l.load(f, Access::READ));
             }
@@ -119,7 +119,7 @@ TEST(SchedulerEdge, SequenceCanBeRedefined)
 
     // Redefine with a single container; old graph must be replaced.
     auto f = app.fields[1];
-    auto c = app.grid.newContainer("overwrite", [f](set::Loader& l) mutable {
+    auto c = app.grid.newContainer("overwrite", [f](auto& l) mutable {
         auto fp = l.load(f, Access::WRITE);
         return [=](const dgrid::DCell& cell) mutable { fp(cell) = -3.0; };
     });
