@@ -33,6 +33,12 @@ struct BGrid::Impl : domain::GridBase::BaseImpl
     /// (size nLocal + 1) — constant-time span cell counts, dry-run safe.
     std::vector<std::vector<int64_t>> activePrefix;
 
+    /// Kept for repartition/rebind: active blocks per block row in (by, bx)
+    /// order and the per-row active-cell totals, so rebuildStructure can
+    /// re-derive every table for any row cuts.
+    std::vector<std::vector<size_t>> rowBlocks;
+    std::vector<int64_t>             rowActive;
+
     set::MemSet<uint64_t> masks;    ///< activity mask per local block (owned+ghost)
     set::MemSet<int32_t>  ngh;      ///< [ownedBlock][27] -> local block or -1
     set::MemSet<index_3d> origins;  ///< global origin cell per local block
@@ -87,58 +93,75 @@ BGrid::BGrid(set::Backend backend, index_3d dim,
     }
 
     // Row structures: active blocks per block row in (by, bx) order.
-    std::vector<std::vector<size_t>> rowBlocks(static_cast<size_t>(g.blockGrid.z));
-    std::vector<int64_t>             rowActive(static_cast<size_t>(g.blockGrid.z), 0);
+    g.rowBlocks.assign(static_cast<size_t>(g.blockGrid.z), {});
+    g.rowActive.assign(static_cast<size_t>(g.blockGrid.z), 0);
     for (int32_t bz = 0; bz < g.blockGrid.z; ++bz) {
         for (int32_t by = 0; by < g.blockGrid.y; ++by) {
             for (int32_t bx = 0; bx < g.blockGrid.x; ++bx) {
                 const size_t bp = g.blockGrid.pitch({bx, by, bz});
                 if (g.blockMasks[bp] != 0) {
-                    rowBlocks[static_cast<size_t>(bz)].push_back(bp);
-                    rowActive[static_cast<size_t>(bz)] +=
+                    g.rowBlocks[static_cast<size_t>(bz)].push_back(bp);
+                    g.rowActive[static_cast<size_t>(bz)] +=
                         std::popcount(g.blockMasks[bp]);
                 }
             }
         }
     }
 
+    mBase = std::move(impl);
+    std::vector<int32_t> bzFirst;
+    std::vector<int32_t> bzCount;
+    computeCuts(devCount(), bzFirst, bzCount);
+    rebuildStructure(bzFirst, bzCount);
+}
+
+void BGrid::computeCuts(int nDev, std::vector<int32_t>& bzFirst,
+                        std::vector<int32_t>& bzCount) const
+{
     // Partition block rows, balancing active cells (like eGrid's plane
     // cuts). Interior devices need >= 2 rows so the boundary-low and
     // boundary-high classes are disjoint.
+    const Impl&   g = impl<Impl>();
     const int32_t minRows = nDev > 1 ? 2 : 1;
     NEON_CHECK(g.blockGrid.z >= nDev * minRows,
                "bgrid needs at least 2 block rows per device when multi-device");
-    std::vector<int32_t> bzFirst(static_cast<size_t>(nDev), 0);
-    std::vector<int32_t> bzCount(static_cast<size_t>(nDev), 0);
-    {
-        const double target = static_cast<double>(g.totalActive) / nDev;
-        int32_t      row = 0;
-        for (int d = 0; d < nDev; ++d) {
-            bzFirst[static_cast<size_t>(d)] = row;
-            int64_t       acc = 0;
-            const int32_t rowsLeft = g.blockGrid.z - row;
-            const int     devsLeft = nDev - d;
-            const int32_t maxRows = rowsLeft - (devsLeft - 1) * minRows;
-            int32_t       used = 0;
-            while (used < maxRows &&
-                   (used < minRows ||
-                    (d < nDev - 1 && static_cast<double>(acc) < target))) {
-                acc += rowActive[static_cast<size_t>(row)];
-                ++row;
-                ++used;
-            }
-            if (d == nDev - 1) {
-                row = g.blockGrid.z;
-                used = rowsLeft;
-            }
-            bzCount[static_cast<size_t>(d)] = used;
+    bzFirst.assign(static_cast<size_t>(nDev), 0);
+    bzCount.assign(static_cast<size_t>(nDev), 0);
+    const double target = static_cast<double>(g.totalActive) / nDev;
+    int32_t      row = 0;
+    for (int d = 0; d < nDev; ++d) {
+        bzFirst[static_cast<size_t>(d)] = row;
+        int64_t       acc = 0;
+        const int32_t rowsLeft = g.blockGrid.z - row;
+        const int     devsLeft = nDev - d;
+        const int32_t maxRows = rowsLeft - (devsLeft - 1) * minRows;
+        int32_t       used = 0;
+        while (used < maxRows &&
+               (used < minRows || (d < nDev - 1 && static_cast<double>(acc) < target))) {
+            acc += g.rowActive[static_cast<size_t>(row)];
+            ++row;
+            ++used;
         }
+        if (d == nDev - 1) {
+            row = g.blockGrid.z;
+            used = rowsLeft;
+        }
+        bzCount[static_cast<size_t>(d)] = used;
     }
+}
+
+void BGrid::rebuildStructure(const std::vector<int32_t>& bzFirst,
+                             const std::vector<int32_t>& bzCount)
+{
+    Impl&      g = impl<Impl>();
+    const int  nDev = static_cast<int>(bzCount.size());
+    const int  blockDim = g.blockDim;
+    const bool dry = g.backend.isDryRun();
 
     // Per-partition block counts.
-    g.parts.resize(static_cast<size_t>(nDev));
+    g.parts.assign(static_cast<size_t>(nDev), {});
     auto rowSize = [&](int32_t bz) {
-        return static_cast<int32_t>(rowBlocks[static_cast<size_t>(bz)].size());
+        return static_cast<int32_t>(g.rowBlocks[static_cast<size_t>(bz)].size());
     };
     for (int d = 0; d < nDev; ++d) {
         PartInfo& p = g.parts[static_cast<size_t>(d)];
@@ -159,7 +182,7 @@ BGrid::BGrid(set::Backend backend, index_3d dim,
     // whole-block segment per neighbour (active blocks only — an inactive
     // block is never stored, hence never sent).
     const auto vol = static_cast<int64_t>(g.blockVol);
-    g.haloSegments.resize(static_cast<size_t>(nDev));
+    g.haloSegments.assign(static_cast<size_t>(nDev), {});
     for (int d = 0; d < nDev; ++d) {
         const PartInfo& p = g.parts[static_cast<size_t>(d)];
         auto&           segs = g.haloSegments[static_cast<size_t>(d)];
@@ -181,14 +204,14 @@ BGrid::BGrid(set::Backend backend, index_3d dim,
     // active-cell prefix sums (all host-side; valid in dry-run too).
     std::vector<std::vector<size_t>> localBlocks(static_cast<size_t>(nDev));
     g.hostBlockLocal.assign(g.blockGrid.size(), 0);
-    g.activePrefix.resize(static_cast<size_t>(nDev));
+    g.activePrefix.assign(static_cast<size_t>(nDev), {});
     for (int d = 0; d < nDev; ++d) {
         const PartInfo& p = g.parts[static_cast<size_t>(d)];
         auto&           blocks = localBlocks[static_cast<size_t>(d)];
         blocks.reserve(static_cast<size_t>(p.nLocal()));
         const int32_t bzLast = p.bzFirst + p.bzCount - 1;
         auto          appendRow = [&](int32_t bz) {
-            const auto& row = rowBlocks[static_cast<size_t>(bz)];
+            const auto& row = g.rowBlocks[static_cast<size_t>(bz)];
             blocks.insert(blocks.end(), row.begin(), row.end());
         };
         // Owned classes: [boundary-low][internal][boundary-high].
@@ -242,7 +265,6 @@ BGrid::BGrid(set::Backend backend, index_3d dim,
         g.ngh = set::MemSet<int32_t>(g.backend, "bgrid.ngh", nghCounts);
     }
     if (dry) {
-        mBase = std::move(impl);
         return;
     }
 
@@ -287,7 +309,89 @@ BGrid::BGrid(set::Backend backend, index_3d dim,
     g.masks.updateDev();
     g.origins.updateDev();
     g.ngh.updateDev();
-    mBase = std::move(impl);
+}
+
+domain::PartitionPlan BGrid::currentPlan() const
+{
+    domain::PartitionPlan plan;
+    for (const PartInfo& p : impl<Impl>().parts) {
+        plan.unitsPerDev.push_back(p.bzCount);
+    }
+    return plan;
+}
+
+int64_t BGrid::minUnitsPerDev() const
+{
+    return devCount() > 1 ? 2 : 1;
+}
+
+void BGrid::repartition(const domain::PartitionPlan& plan)
+{
+    Impl&     g = impl<Impl>();
+    const int nDev = devCount();
+    NEON_CHECK(plan.devCount() == nDev,
+               "bGrid::repartition: plan device count != grid device count");
+    NEON_CHECK(plan.total() == g.blockGrid.z,
+               "bGrid::repartition: plan must cover every block row");
+    for (const int64_t u : plan.unitsPerDev) {
+        NEON_CHECK(u >= minUnitsPerDev(),
+                   "bGrid::repartition: every device needs at least 2 block rows");
+    }
+
+    // Owned cells per device in the global block ordering (active blocks
+    // ascending (bz, by, bx)); every stored block contributes blockVol
+    // buffer cells, active or not, so the migration unit is blocks * vol.
+    const auto           vol = static_cast<int64_t>(g.blockVol);
+    std::vector<int64_t> oldCells;
+    for (const PartInfo& p : g.parts) {
+        oldCells.push_back(static_cast<int64_t>(p.nOwned) * vol);
+    }
+
+    std::vector<int32_t> bzFirst;
+    std::vector<int32_t> bzCount;
+    int32_t              row = 0;
+    for (const int64_t u : plan.unitsPerDev) {
+        bzFirst.push_back(row);
+        bzCount.push_back(static_cast<int32_t>(u));
+        row += static_cast<int32_t>(u);
+    }
+    rebuildStructure(bzFirst, bzCount);
+
+    domain::RegridInfo   info;
+    std::vector<int64_t> newCells;
+    for (const PartInfo& p : g.parts) {
+        newCells.push_back(static_cast<int64_t>(p.nOwned) * vol);
+        info.newCellCounts.push_back(static_cast<size_t>(p.nLocal()) *
+                                     static_cast<size_t>(g.blockVol));
+        info.oldOwnedStart.push_back(0);
+        info.newOwnedStart.push_back(0);
+    }
+    info.migrate = domain::migrationSegments(oldCells, newCells);
+    info.migrateData = true;
+    applyRegridToFields(info);
+    backend().noteGeometryChange();
+}
+
+void BGrid::rebindBackend(set::Backend survivor)
+{
+    Impl&     g = impl<Impl>();
+    const int nDev = survivor.devCount();
+    g.backend = std::move(survivor);
+    std::vector<int32_t> bzFirst;
+    std::vector<int32_t> bzCount;
+    computeCuts(nDev, bzFirst, bzCount);
+    rebuildStructure(bzFirst, bzCount);
+
+    domain::RegridInfo info;
+    info.migrateData = false;
+    for (const PartInfo& p : g.parts) {
+        info.newCellCounts.push_back(static_cast<size_t>(p.nLocal()) *
+                                     static_cast<size_t>(g.blockVol));
+        info.oldOwnedStart.push_back(0);
+        info.newOwnedStart.push_back(0);
+    }
+    applyRegridToFields(info);
+    backend().noteGeometryChange();
 }
 
 BSpan BGrid::span(int dev, DataView view) const

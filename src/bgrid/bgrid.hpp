@@ -137,8 +137,29 @@ class BGrid : public domain::GridBase, public domain::GridOps<BGrid>
     [[nodiscard]] const set::MemSet<int32_t>&  blockNgh() const;
     [[nodiscard]] const set::MemSet<index_3d>& origins() const;
 
+    // --- adaptive repartitioning (docs/robustness.md) -----------------------
+    /// Current decomposition in partition units (block rows per device).
+    [[nodiscard]] domain::PartitionPlan currentPlan() const;
+    /// Total partition units (block rows of the bounding box).
+    [[nodiscard]] int64_t partitionUnits() const { return blockGridDim().z; }
+    /// Smallest row count repartition() accepts per device (interior
+    /// devices need disjoint boundary-low/high rows when multi-device).
+    [[nodiscard]] int64_t minUnitsPerDev() const;
+    /// Re-assign block rows in place — block-granular mask reassignment —
+    /// and migrate every registered field. Containers must be rebuild()-ed
+    /// and skeletons re-sequenced (Backend::geometryEpoch enforces).
+    void repartition(const domain::PartitionPlan& plan);
+    /// Online-recovery rebind onto a smaller backend; fields re-allocate
+    /// without migration — the recovery driver restores checkpointed state.
+    void rebindBackend(set::Backend survivor);
+
    private:
     struct Impl;
+    /// Greedy active-balanced row cuts for `nDev` devices (ctor + rebind).
+    void computeCuts(int nDev, std::vector<int32_t>& bzFirst, std::vector<int32_t>& bzCount) const;
+    /// (Re)build parts, halo segments, structure tables and the host maps
+    /// from prescribed row cuts.
+    void rebuildStructure(const std::vector<int32_t>& bzFirst, const std::vector<int32_t>& bzCount);
 };
 
 }  // namespace neon::bgrid

@@ -26,11 +26,20 @@ DGrid::DGrid(set::Backend backend, index_3d dim, Stencil stencil)
     impl->stencil = std::move(stencil);
     impl->haloRadius = std::max(1, impl->stencil.zRadius());
 
-    const int  nDev = impl->backend.devCount();
-    const auto counts = splitBalanced(dim.z, nDev);
-    int32_t    origin = 0;
-    const int  r = impl->haloRadius;
-    impl->zToDev.reserve(static_cast<size_t>(dim.z));
+    const auto counts = splitBalanced(dim.z, impl->backend.devCount());
+    rebuildTables(*impl, counts);
+    mBase = std::move(impl);
+}
+
+void DGrid::rebuildTables(Impl& impl, const std::vector<int32_t>& counts)
+{
+    const int      nDev = static_cast<int>(counts.size());
+    const index_3d dim = impl.dim;
+    const int      r = impl.haloRadius;
+    impl.parts.clear();
+    impl.zToDev.clear();
+    impl.zToDev.reserve(static_cast<size_t>(dim.z));
+    int32_t origin = 0;
     for (int d = 0; d < nDev; ++d) {
         PartInfo p;
         p.zOrigin = origin;
@@ -40,18 +49,18 @@ DGrid::DGrid(set::Backend backend, index_3d dim, Stencil stencil)
         // Boundary slabs: cells whose stencil reaches a neighbour partition.
         p.bLow = p.hasLow ? std::min(r, p.zCount) : 0;
         p.bHigh = p.hasHigh ? std::min(r, p.zCount - p.bLow) : 0;
-        impl->parts.push_back(p);
-        impl->zToDev.insert(impl->zToDev.end(), static_cast<size_t>(p.zCount), d);
+        impl.parts.push_back(p);
+        impl.zToDev.insert(impl.zToDev.end(), static_cast<size_t>(p.zCount), d);
         origin += p.zCount;
     }
 
     // Halo segments in cell units of a field buffer: per device the local z
     // extent is [0, zCount + 2r) with the owned planes at [r, r + zCount).
     const auto plane = static_cast<int64_t>(dim.x) * static_cast<int64_t>(dim.y);
-    impl->haloSegments.resize(static_cast<size_t>(nDev));
+    impl.haloSegments.assign(static_cast<size_t>(nDev), {});
     for (int d = 0; d < nDev; ++d) {
-        const PartInfo& p = impl->parts[static_cast<size_t>(d)];
-        auto&           segs = impl->haloSegments[static_cast<size_t>(d)];
+        const PartInfo& p = impl.parts[static_cast<size_t>(d)];
+        auto&           segs = impl.haloSegments[static_cast<size_t>(d)];
         if (p.hasHigh) {
             // Owned top r planes -> (dev+1)'s low halo [0, r).
             segs.push_back({d + 1, 1, static_cast<int64_t>(p.zCount) * plane, 0,
@@ -59,13 +68,91 @@ DGrid::DGrid(set::Backend backend, index_3d dim, Stencil stencil)
         }
         if (p.hasLow) {
             // Owned bottom r planes -> (dev-1)'s high halo.
-            const PartInfo& pn = impl->parts[static_cast<size_t>(d - 1)];
+            const PartInfo& pn = impl.parts[static_cast<size_t>(d - 1)];
             segs.push_back({d - 1, 0, static_cast<int64_t>(r) * plane,
                             static_cast<int64_t>(r + pn.zCount) * plane,
                             static_cast<int64_t>(r) * plane});
         }
     }
-    mBase = std::move(impl);
+}
+
+domain::PartitionPlan DGrid::currentPlan() const
+{
+    domain::PartitionPlan plan;
+    for (const PartInfo& p : impl<Impl>().parts) {
+        plan.unitsPerDev.push_back(p.zCount);
+    }
+    return plan;
+}
+
+int64_t DGrid::minUnitsPerDev() const
+{
+    return std::max(1, haloRadius());
+}
+
+void DGrid::repartition(const domain::PartitionPlan& plan)
+{
+    auto&     impl = this->impl<Impl>();
+    const int nDev = devCount();
+    NEON_CHECK(plan.devCount() == nDev,
+               "dGrid::repartition: plan device count != grid device count");
+    NEON_CHECK(plan.total() == dim().z, "dGrid::repartition: plan must cover every z-plane");
+    for (const int64_t u : plan.unitsPerDev) {
+        NEON_CHECK(u >= minUnitsPerDev(),
+                   "dGrid::repartition: every device needs at least haloRadius planes");
+    }
+
+    const auto           plane = static_cast<int64_t>(dim().x) * static_cast<int64_t>(dim().y);
+    std::vector<int64_t> oldCells;
+    std::vector<int64_t> newCells;
+    for (const PartInfo& p : impl.parts) {
+        oldCells.push_back(static_cast<int64_t>(p.zCount) * plane);
+    }
+    for (const int64_t u : plan.unitsPerDev) {
+        newCells.push_back(u * plane);
+    }
+
+    std::vector<int32_t> counts;
+    for (const int64_t u : plan.unitsPerDev) {
+        counts.push_back(static_cast<int32_t>(u));
+    }
+    rebuildTables(impl, counts);
+
+    const int          r = impl.haloRadius;
+    domain::RegridInfo info;
+    for (int d = 0; d < nDev; ++d) {
+        info.newCellCounts.push_back(
+            static_cast<size_t>((plan.unitsPerDev[static_cast<size_t>(d)] + 2 * r) * plane));
+        info.oldOwnedStart.push_back(static_cast<int64_t>(r) * plane);
+        info.newOwnedStart.push_back(static_cast<int64_t>(r) * plane);
+    }
+    info.migrate = domain::migrationSegments(oldCells, newCells);
+    info.migrateData = true;
+    applyRegridToFields(info);
+    backend().noteGeometryChange();
+}
+
+void DGrid::rebindBackend(set::Backend survivor)
+{
+    auto&     impl = this->impl<Impl>();
+    const int nDev = survivor.devCount();
+    impl.backend = std::move(survivor);
+    const auto counts = splitBalanced(dim().z, nDev);
+    rebuildTables(impl, counts);
+
+    const auto         plane = static_cast<int64_t>(dim().x) * static_cast<int64_t>(dim().y);
+    const int          r = impl.haloRadius;
+    domain::RegridInfo info;
+    info.migrateData = false;
+    for (int d = 0; d < nDev; ++d) {
+        info.newCellCounts.push_back(
+            static_cast<size_t>((static_cast<int64_t>(counts[static_cast<size_t>(d)]) + 2 * r) *
+                                plane));
+        info.oldOwnedStart.push_back(static_cast<int64_t>(r) * plane);
+        info.newOwnedStart.push_back(static_cast<int64_t>(r) * plane);
+    }
+    applyRegridToFields(info);
+    backend().noteGeometryChange();
 }
 
 DSpan DGrid::span(int dev, DataView view) const

@@ -112,6 +112,25 @@ class DGrid : public domain::GridBase, public domain::GridOps<DGrid>
     /// Constant-time z-plane -> owning device lookup.
     [[nodiscard]] int devOfZ(int32_t z) const;
 
+    // --- adaptive repartitioning (docs/robustness.md) -----------------------
+    /// Current decomposition in partition units (z-planes per device).
+    [[nodiscard]] domain::PartitionPlan currentPlan() const;
+    /// Total partition units (the grid's z extent).
+    [[nodiscard]] int64_t partitionUnits() const { return dim().z; }
+    /// Smallest owned-plane count repartition() accepts per device: a full
+    /// halo's worth, so fed halo halves always come from owned planes.
+    [[nodiscard]] int64_t minUnitsPerDev() const;
+    /// Re-slice the z-decomposition in place and migrate every registered
+    /// field through the transfer path. Containers built on this grid must
+    /// be rebuild()-ed (and skeletons re-sequenced) afterwards — enforced
+    /// via Backend::geometryEpoch.
+    void repartition(const domain::PartitionPlan& plan);
+    /// Online-recovery rebind: move this grid onto `survivor` (fewer
+    /// devices), re-slice evenly and re-allocate fields WITHOUT migrating
+    /// data (the lost device's buffers are gone); the recovery driver
+    /// restores checkpointed state afterwards.
+    void rebindBackend(set::Backend survivor);
+
    private:
     struct Impl : domain::GridBase::BaseImpl
     {
@@ -119,6 +138,8 @@ class DGrid : public domain::GridBase, public domain::GridOps<DGrid>
         /// z -> owning device LUT (one entry per global z-plane).
         std::vector<int32_t> zToDev;
     };
+
+    static void rebuildTables(Impl& impl, const std::vector<int32_t>& counts);
 };
 
 /// Balanced 1-D decomposition of `total` planes over `nDev` devices.

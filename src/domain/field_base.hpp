@@ -17,6 +17,7 @@
 #include "core/index3d.hpp"
 #include "core/types.hpp"
 #include "domain/halo.hpp"
+#include "domain/partition_plan.hpp"
 #include "domain/span.hpp"
 #include "set/memset.hpp"
 
@@ -91,7 +92,7 @@ class FieldBase
     }
 
    protected:
-    struct Core
+    struct Core : RegridClient
     {
         GridT                         grid;
         std::string                   name;
@@ -100,6 +101,84 @@ class FieldBase
         MemLayout                     layout = MemLayout::structOfArrays;
         set::MemSet<T>                data;
         std::shared_ptr<set::HaloOps> halo;
+
+        /// Re-home this field onto the grid's new decomposition (the grid's
+        /// tables are already re-sliced when this runs). Allocates the new
+        /// MemSet, migrates the owned windows through TransferOps on the
+        /// backend streams — traced, costed and faultable exactly like a
+        /// halo exchange — then swaps storage and rebuilds the halo plan.
+        void applyRegrid(const RegridInfo& info) override
+        {
+            set::Backend&       backend = grid.backend();
+            std::vector<size_t> counts;
+            counts.reserve(info.newCellCounts.size());
+            for (const size_t cells : info.newCellCounts) {
+                counts.push_back(cells * static_cast<size_t>(card));
+            }
+            set::MemSet<T> next(backend, name, std::move(counts));
+            if (!backend.isDryRun()) {
+                // Fresh allocations start at the outside value; migrated
+                // cells overwrite their owned windows below. The host
+                // mirror is refreshed lazily (updateHost) as usual.
+                for (int d = 0; d < next.setCount(); ++d) {
+                    T*           ptr = next.rawHost(d);
+                    const size_t n = next.count(d);
+                    std::fill(ptr, ptr + n, outside);
+                }
+                next.updateDev();
+            }
+            if (info.migrateData && !info.migrate.empty()) {
+                // One TransferOp per source device; SoA splits each segment
+                // into per-component chunks (SegmentHalo's convention).
+                for (int srcDev = 0; srcDev < data.setCount(); ++srcDev) {
+                    sys::TransferOp op;
+                    op.name = "migrate(" + name + ")";
+                    for (const MigrationSegment& seg : info.migrate) {
+                        if (seg.srcDev != srcDev || seg.count == 0) {
+                            continue;
+                        }
+                        T*        src = data.rawDev(srcDev);
+                        T*        dst = next.rawDev(seg.dstDev);
+                        const int dir = seg.dstDev >= srcDev ? 1 : 0;
+                        const auto srcBase =
+                            static_cast<size_t>(info.oldOwnedStart[static_cast<size_t>(srcDev)] +
+                                                seg.srcFirst);
+                        const auto dstBase =
+                            static_cast<size_t>(info.newOwnedStart[static_cast<size_t>(seg.dstDev)] +
+                                                seg.dstFirst);
+                        if (layout == MemLayout::structOfArrays) {
+                            const size_t srcPitch = data.count(srcDev) / static_cast<size_t>(card);
+                            const size_t dstPitch =
+                                next.count(seg.dstDev) / static_cast<size_t>(card);
+                            for (int32_t c = 0; c < card; ++c) {
+                                const size_t so = static_cast<size_t>(c) * srcPitch + srcBase;
+                                const size_t do_ = static_cast<size_t>(c) * dstPitch + dstBase;
+                                const size_t len = static_cast<size_t>(seg.count);
+                                op.chunks.push_back(
+                                    {len * sizeof(T), dir, [src, dst, so, do_, len] {
+                                         std::copy_n(src + so, len, dst + do_);
+                                     }});
+                            }
+                        } else {
+                            const size_t so = srcBase * static_cast<size_t>(card);
+                            const size_t do_ = dstBase * static_cast<size_t>(card);
+                            const size_t len =
+                                static_cast<size_t>(seg.count) * static_cast<size_t>(card);
+                            op.chunks.push_back({len * sizeof(T), dir, [src, dst, so, do_, len] {
+                                                     std::copy_n(src + so, len, dst + do_);
+                                                 }});
+                        }
+                    }
+                    if (!op.chunks.empty()) {
+                        backend.stream(srcDev, 0).transfer(std::move(op));
+                    }
+                }
+                backend.sync();
+            }
+            data = std::move(next);
+            halo = std::make_shared<SegmentHalo<T>>(data, name, card, layout,
+                                                    grid.haloSegments());
+        }
     };
 
     FieldBase() = default;
@@ -126,6 +205,7 @@ class FieldBase
         mCore->data = set::MemSet<T>(grid.backend(), mCore->name, std::move(counts));
         mCore->halo = std::make_shared<SegmentHalo<T>>(mCore->data, mCore->name, cardinality,
                                                        layout, grid.haloSegments());
+        grid.registerRegridClient(mCore);
         if (!grid.backend().isDryRun()) {
             fillHost(outsideValue);
             updateDev();

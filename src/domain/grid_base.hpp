@@ -13,6 +13,7 @@
 //     at compile time.
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "core/types.hpp"
 #include "domain/concepts.hpp"
 #include "domain/halo.hpp"
+#include "domain/partition_plan.hpp"
 #include "set/backend.hpp"
 #include "set/container.hpp"
 
@@ -46,6 +48,37 @@ class GridBase
         return mBase->haloSegments;
     }
 
+    /// Register a field's migration hook (called by FieldBase::initCore).
+    /// Weak: fields own the grid, never the reverse.
+    void registerRegridClient(const std::weak_ptr<RegridClient>& client) const
+    {
+        std::lock_guard<std::mutex> lock(mBase->fieldsMutex);
+        mBase->fields.push_back(client);
+    }
+
+    /// Hand a repartition's RegridInfo to every live registered field
+    /// (expired registrations are pruned). Called by Grid::repartition
+    /// after its tables are re-sliced, so fields see the new geometry.
+    void applyRegridToFields(const RegridInfo& info) const
+    {
+        std::vector<std::shared_ptr<RegridClient>> live;
+        {
+            std::lock_guard<std::mutex> lock(mBase->fieldsMutex);
+            auto& fields = mBase->fields;
+            for (size_t i = 0; i < fields.size();) {
+                if (auto client = fields[i].lock()) {
+                    live.push_back(std::move(client));
+                    ++i;
+                } else {
+                    fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(i));
+                }
+            }
+        }
+        for (const auto& client : live) {
+            client->applyRegrid(info);
+        }
+    }
+
    protected:
     /// Shared slice of a grid's Impl; concrete grids derive from it.
     struct BaseImpl
@@ -58,6 +91,11 @@ class GridBase
         /// haloSegments[dev]: segments device `dev` sends (built by the
         /// concrete grid's constructor).
         std::vector<std::vector<HaloSegment>> haloSegments;
+
+        /// Migration hooks of the fields built on this grid (weak — see
+        /// registerRegridClient) and their guard.
+        std::mutex                               fieldsMutex;
+        std::vector<std::weak_ptr<RegridClient>> fields;
 
         virtual ~BaseImpl() = default;
     };

@@ -115,8 +115,30 @@ class EGrid : public domain::GridBase, public domain::GridOps<EGrid>
     [[nodiscard]] int                          lutRadius() const;
     [[nodiscard]] int                          stencilPointCount() const;
 
+    // --- adaptive repartitioning (docs/robustness.md) -----------------------
+    /// Current decomposition in partition units (z-planes per device).
+    [[nodiscard]] domain::PartitionPlan currentPlan() const;
+    /// Total partition units (the grid's z extent).
+    [[nodiscard]] int64_t partitionUnits() const { return dim().z; }
+    /// Smallest plane count repartition() accepts per device (the ctor's
+    /// 2*haloRadius constraint: boundary classes must not overlap).
+    [[nodiscard]] int64_t minUnitsPerDev() const;
+    /// Re-slice the plane cuts in place, rebuild connectivity/coords and
+    /// migrate every registered field. Containers must be rebuild()-ed and
+    /// skeletons re-sequenced afterwards (Backend::geometryEpoch enforces).
+    void repartition(const domain::PartitionPlan& plan);
+    /// Online-recovery rebind onto a smaller backend; fields re-allocate
+    /// without migration (the lost device's data is gone) — the recovery
+    /// driver restores checkpointed state.
+    void rebindBackend(set::Backend survivor);
+
    private:
     struct Impl;
+    /// Greedy active-balanced plane cuts for `nDev` devices (ctor + rebind).
+    void computeCuts(int nDev, std::vector<int32_t>& zFirst, std::vector<int32_t>& zCount) const;
+    /// (Re)build parts, halo segments, structure tables and the host map
+    /// from prescribed plane cuts.
+    void rebuildStructure(const std::vector<int32_t>& zFirst, const std::vector<int32_t>& zCount);
 };
 
 }  // namespace neon::egrid

@@ -33,6 +33,7 @@
 #include "domain/field_base.hpp"
 #include "domain/grid_base.hpp"
 #include "domain/halo.hpp"
+#include "domain/partition_plan.hpp"
 
 #include "bgrid/bfield.hpp"
 #include "bgrid/bgrid.hpp"
@@ -43,6 +44,9 @@
 
 #include "skeleton/graph.hpp"
 #include "skeleton/skeleton.hpp"
+
+#include "repartition/repartitioner.hpp"
+#include "repartition/self_healing.hpp"
 
 #include "analysis/analysis.hpp"
 

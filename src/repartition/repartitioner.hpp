@@ -1,0 +1,106 @@
+#pragma once
+// Repartitioner: measured-rate load rebalancing (docs/robustness.md).
+// Consumes the per-device compute-busy times of an ExecutionReport window
+// together with the decomposition that produced them, estimates each
+// device's throughput in partition units per virtual second, and proposes a
+// new PartitionPlan via largest-remainder apportionment over the grid's
+// minimum-units floor. On a heterogeneous machine (BackendSpec::
+// withSpeedFactors) the proposal shifts slabs toward the fast devices until
+// per-device busy times equalize.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "domain/partition_plan.hpp"
+#include "sys/execution_report.hpp"
+
+namespace neon::repartition {
+
+/// Per-device throughput estimate derived from one execution window.
+struct DeviceRates
+{
+    /// Partition units (z-planes / block rows) processed per virtual
+    /// second of compute-busy time, one entry per device.
+    std::vector<double> unitsPerSecond;
+    /// False when the window carried no usable kernel time (trace off,
+    /// dry-run with zero-cost config, empty window): the rates degenerate
+    /// to uniform and propose() returns an even split.
+    bool measured = false;
+
+    [[nodiscard]] std::string toString() const
+    {
+        std::string s = measured ? "rates[" : "rates(unmeasured)[";
+        for (size_t i = 0; i < unitsPerSecond.size(); ++i) {
+            s += (i > 0 ? ", " : "") + std::to_string(unitsPerSecond[i]);
+        }
+        return s + "]";
+    }
+};
+
+class Repartitioner
+{
+   public:
+    /// Estimate per-device throughput from `report` given the plan that was
+    /// live while the window ran. Devices with no recorded kernel time get
+    /// the mean rate of the measured ones (they contribute no evidence, so
+    /// they keep a proportional share).
+    static DeviceRates measuredRates(const ExecutionReport&       report,
+                                     const domain::PartitionPlan& current)
+    {
+        const int nDev = current.devCount();
+        NEON_CHECK(nDev >= 1, "Repartitioner: current plan is empty");
+        DeviceRates rates;
+        rates.unitsPerSecond.assign(static_cast<size_t>(nDev), 0.0);
+
+        double sum = 0.0;
+        int    nMeasured = 0;
+        for (int d = 0; d < nDev; ++d) {
+            const auto du = static_cast<size_t>(d);
+            const double busy = du < report.devices().size()
+                                    ? report.devices()[du].computeBusy
+                                    : 0.0;
+            const auto units = static_cast<double>(current.unitsPerDev[du]);
+            if (busy > 0.0 && units > 0.0) {
+                rates.unitsPerSecond[du] = units / busy;
+                sum += rates.unitsPerSecond[du];
+                ++nMeasured;
+            }
+        }
+        if (nMeasured == 0) {
+            rates.unitsPerSecond.assign(static_cast<size_t>(nDev), 1.0);
+            return rates;
+        }
+        const double mean = sum / nMeasured;
+        for (double& r : rates.unitsPerSecond) {
+            if (r <= 0.0) {
+                r = mean;
+            }
+        }
+        rates.measured = true;
+        return rates;
+    }
+
+    /// Apportion `totalUnits` proportionally to the rates, each device
+    /// keeping at least `minUnitsPerDev` (the grid's halo/boundary floor).
+    static domain::PartitionPlan propose(const DeviceRates& rates, int64_t totalUnits,
+                                         int64_t minUnitsPerDev)
+    {
+        return domain::PartitionPlan::fromWeights(totalUnits, rates.unitsPerSecond,
+                                                  minUnitsPerDev);
+    }
+
+    /// One-call form: rates from `report` against the grid's live plan,
+    /// apportioned over the grid's own unit total and per-device floor.
+    /// Feed the result to grid.repartition() when it differs from
+    /// grid.currentPlan().
+    template <typename Grid>
+    static domain::PartitionPlan propose(const Grid& grid, const ExecutionReport& report)
+    {
+        const DeviceRates rates = measuredRates(report, grid.currentPlan());
+        return propose(rates, grid.partitionUnits(), grid.minUnitsPerDev());
+    }
+};
+
+}  // namespace neon::repartition

@@ -81,6 +81,7 @@ struct Job::State
     double completion = -1.0;
     int    startSeq = -1;
     bool   isBatched = false;
+    int    requeues = 0;  ///< device-loss re-dispatches so far
 
     int      runs = 1;
     double   weight = 0.0;  ///< fair-share work weight (ops x runs)
@@ -184,6 +185,9 @@ struct Service::Impl
     std::vector<std::shared_ptr<Job::State>> queue;     ///< submission order
     std::vector<std::shared_ptr<Job::State>> inflight;  ///< dispatch order
     std::unordered_map<std::string, double>  served;    ///< fair-share ledger
+
+    /// Device-loss recovery policy (Service::setRecoveryHandler).
+    RecoveryHandler onDeviceLoss;
 };
 
 namespace {
@@ -224,12 +228,73 @@ void markFailed(Service::Impl& s, Job::State& j, RuntimeError::Info info)
     s.failed++;
 }
 
+/// Put a dispatched job back in the queue for a fresh dispatch: release
+/// its lease/tail/skeleton and restore the pre-dispatch invariants. Its
+/// ops handles were kept at dispatch, so the next dispatchOne recompiles
+/// them against whatever backend the service holds by then.
+void requeue(Service::Impl& s, const std::shared_ptr<Job::State>& j)
+{
+    j->requeues++;
+    j->state = JobState::Queued;
+    j->start = -1.0;
+    j->startSeq = -1;
+    j->isBatched = false;
+    j->tail.reset();
+    j->skl.reset();
+    j->lease.reset();
+    // Keep submission order: the queue is scanned FIFO by submission
+    // ordinal, and `all` is already in that order.
+    auto pos = std::upper_bound(s.queue.begin(), s.queue.end(), j,
+                                [](const auto& a, const auto& b) { return a->id < b->id; });
+    s.queue.insert(pos, j);
+}
+
+/// A DeviceLost abort with a recovery handler installed: fail only the
+/// attributed job, swap to the handler's survivor backend, drop the stale
+/// schedule-cache recipes keyed on the old device count, and re-queue the
+/// other in-flight jobs. Returns false when recovery is not possible
+/// (no handler, no attribution, or the handler threw) — the caller falls
+/// back to the fail-stop blast radius.
+bool recoverDeviceLoss(Service::Impl& s, const RuntimeError::Info& info)
+{
+    if (!s.onDeviceLoss || info.kind != RuntimeError::Kind::DeviceLost) {
+        return false;
+    }
+    const int    oldDevCount = s.backend.devCount();
+    set::Backend survivor;
+    try {
+        survivor = s.onDeviceLoss(s.backend, info);
+    } catch (...) {
+        return false;  // handler declined; blast radius applies
+    }
+    skeleton::ScheduleCache::instance().invalidateDevCount(oldDevCount);
+    s.backend = std::move(survivor);
+
+    const auto running = s.inflight;
+    s.inflight.clear();
+    for (const auto& j : running) {
+        if (j->state != JobState::Running) {
+            continue;
+        }
+        // A job can ride at most 3 recoveries; after that it inherits the
+        // failure (guards against a handler that never actually heals).
+        if (j->id == info.jobId || info.jobId < 0 || j->requeues >= 3) {
+            markFailed(s, *j, info);
+            continue;
+        }
+        requeue(s, j);
+    }
+    return true;
+}
+
 /// Pull a latched engine abort (threaded engine: a worker faulted after
-/// dispatch returned), attribute it, and restore the engine. Fail-stop
-/// blast radius: the abort suppressed every op queued behind it, so every
-/// currently in-flight job's remaining work was dropped — all of them are
-/// failed, each with its own attribution (the triggering job keeps the
-/// original fault kind).
+/// dispatch returned), attribute it, and restore the engine. Default
+/// fail-stop blast radius: the abort suppressed every op queued behind
+/// it, so every currently in-flight job's remaining work was dropped —
+/// all of them are failed, each with its own attribution (the triggering
+/// job keeps the original fault kind). With a recovery handler installed,
+/// a DeviceLost abort instead fails only the attributed job and re-queues
+/// the rest onto the recovered backend.
 void absorbAbort(Service::Impl& s)
 {
     auto& eng = s.backend.engine();
@@ -246,6 +311,9 @@ void absorbAbort(Service::Impl& s)
     }
     eng.quiesce();
     eng.clearAbort();
+    if (recoverDeviceLoss(s, info)) {
+        return;
+    }
     bool attributed = false;
     for (auto& j : s.inflight) {
         if (j->state != JobState::Running) {
@@ -346,11 +414,13 @@ void dispatchOne(Service::Impl& s, const std::shared_ptr<Job::State>& job,
     job->start = std::max(s.clock, job->arrival);
     job->startSeq = s.nextStartSeq++;
     s.served[job->tenant] += job->weight;
+    job->backend = s.backend;  // recovery may have swapped it since submit
     auto skl = std::make_shared<skeleton::Skeleton>(s.backend);
     try {
-        auto      compiled = skl->sequence(std::move(job->ops), job->options);
+        // `ops` is passed by copy (cheap shared handles), not moved: a
+        // device-loss recovery may re-queue this job for a fresh dispatch.
+        auto      compiled = skl->sequence(job->ops, job->options);
         const int nStreams = compiled.streamCount();
-        job->ops.clear();
         if (lease == nullptr) {
             const int base = s.backend.leaseStreams(nStreams);
             lease = std::make_shared<LeaseHold>(s.backend, base, nStreams);
@@ -383,6 +453,13 @@ void dispatchOne(Service::Impl& s, const std::shared_ptr<Job::State>& job,
         // clear the latch so subsequent jobs dispatch.
         s.backend.engine().quiesce();
         s.backend.engine().clearAbort();
+        if (recoverDeviceLoss(s, e.info) && job->requeues < 3 &&
+            !(job->id == e.info.jobId || e.info.jobId < 0)) {
+            // Someone else's device loss interrupted this dispatch: this
+            // job rides the recovery too.
+            requeue(s, job);
+            return;
+        }
         job->skl = std::move(skl);
         markFailed(s, *job, e.info);
     }
@@ -496,6 +573,13 @@ Service::Service(set::Backend backend, ServiceConfig config)
     NEON_CHECK(config.maxBatch >= 1, "ServiceConfig: maxBatch must be >= 1");
     mImpl->backend = std::move(backend);
     mImpl->config = config;
+}
+
+void Service::setRecoveryHandler(RecoveryHandler handler)
+{
+    auto&                       s = *mImpl;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.onDeviceLoss = std::move(handler);
 }
 
 Job Service::submit(JobRequest request)

@@ -30,10 +30,12 @@
 // accidental cross-thread use fail safe rather than corrupt state.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/error.hpp"
 #include "service/job.hpp"
 #include "set/backend.hpp"
 
@@ -94,6 +96,16 @@ struct ServiceConfig
     }
 };
 
+/// Policy hook for surviving a permanent device loss mid-trace
+/// (docs/robustness.md, "Self-healing recovery"). Called from the absorb
+/// path with the dying backend and the fault attribution; returns the
+/// recovered backend the service should dispatch onto from now on. The
+/// handler owns the domain-side recovery: build a survivor backend (e.g.
+/// repartition::survivorSpec), rebind its grids and rebuild the submitted
+/// containers — the service's stored handles share the rebuilt state.
+using RecoveryHandler =
+    std::function<set::Backend(set::Backend dying, const RuntimeError::Info& info)>;
+
 class Service
 {
    public:
@@ -101,6 +113,15 @@ class Service
     struct Impl;
 
     explicit Service(set::Backend backend, ServiceConfig config = {});
+
+    /// Install a device-loss recovery handler. Without one, an engine
+    /// abort keeps its fail-stop blast radius: every in-flight job fails.
+    /// With one, a DeviceLost abort fails only the attributed job; the
+    /// service swaps to the handler's recovered backend, drops the stale
+    /// schedule-cache recipes keyed on the old device count, and re-queues
+    /// the other in-flight jobs for re-dispatch (recompiled against the
+    /// survivor geometry).
+    void setRecoveryHandler(RecoveryHandler handler);
 
     /// Admit a job. Advances the service clock to the job's arrival,
     /// retires any in-flight jobs that completed by then, and dispatches

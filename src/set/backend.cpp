@@ -76,6 +76,12 @@ std::string BackendSpec::toString() const
     if (hostThreads != 0) {
         os << " threads=" << hostThreads;
     }
+    if (!speedFactors.empty()) {
+        os << " speed=";
+        for (size_t i = 0; i < speedFactors.size(); ++i) {
+            os << (i == 0 ? "" : ",") << speedFactors[i];
+        }
+    }
     if (config.dryRun) {
         os << " dryRun";
     }
@@ -111,6 +117,17 @@ BackendSpec BackendSpec::fromString(const std::string& text)
             spec.hostThreads = std::stoi(token.substr(8));
             NEON_CHECK(spec.hostThreads >= 1,
                        "BackendSpec::fromString: threads= must be >= 1 in '" + text + "'");
+        } else if (token.rfind("speed=", 0) == 0) {
+            std::istringstream fs(token.substr(6));
+            std::string        part;
+            while (std::getline(fs, part, ',')) {
+                const double f = std::stod(part);
+                NEON_CHECK(f > 0.0, "BackendSpec::fromString: speed factors must be > 0 in '" +
+                                        text + "'");
+                spec.speedFactors.push_back(f);
+            }
+            NEON_CHECK(!spec.speedFactors.empty(),
+                       "BackendSpec::fromString: empty speed= list in '" + text + "'");
         } else if (token == "dryRun") {
             dryRun = true;
         } else {
@@ -159,6 +176,8 @@ struct Backend::Impl
     // Stream-index leases: sorted disjoint [base, base+count) blocks.
     mutable std::mutex                       leaseMutex;
     mutable std::vector<std::pair<int, int>> leases;
+    // Partition-geometry epoch (see Backend::geometryEpoch).
+    mutable std::atomic<uint64_t> geometryEpoch{0};
 
     ~Impl()
     {
@@ -220,9 +239,22 @@ Backend Backend::make(BackendSpec spec)
         impl.engine = std::make_unique<sys::ThreadedEngine>();
     }
     impl.engine->setHostPool(impl.pool);
+    NEON_CHECK(impl.spec.speedFactors.empty() ||
+                   static_cast<int>(impl.spec.speedFactors.size()) == impl.spec.nDevices,
+               "BackendSpec: speedFactors must be empty or have one entry per device");
     for (int i = 0; i < impl.spec.nDevices; ++i) {
+        // Heterogeneous mixes scale each device's compute-side cost model;
+        // both engines charge kernels via dev.config(), so the scaled rates
+        // flow straight into the virtual timeline and the ExecutionReport.
+        sys::SimConfig devConfig = impl.spec.config;
+        if (!impl.spec.speedFactors.empty()) {
+            const double f = impl.spec.speedFactors[static_cast<size_t>(i)];
+            NEON_CHECK(f > 0.0, "BackendSpec: speed factors must be > 0");
+            devConfig.device.memBandwidth *= f;
+            devConfig.device.flopRate *= f;
+        }
         impl.devices.push_back(
-            std::make_unique<sys::Device>(i, impl.spec.deviceType, impl.spec.config));
+            std::make_unique<sys::Device>(i, impl.spec.deviceType, devConfig));
     }
     impl.streams.resize(static_cast<size_t>(impl.spec.nDevices));
     if (!impl.spec.faults.empty()) {
@@ -349,6 +381,16 @@ void Backend::releaseStreams(int base, int count) const
 double Backend::makespanNow() const
 {
     return mImpl->engine->maxVtime();
+}
+
+uint64_t Backend::geometryEpoch() const
+{
+    return mImpl->geometryEpoch.load(std::memory_order_acquire);
+}
+
+void Backend::noteGeometryChange() const
+{
+    mImpl->geometryEpoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Backend::resetClocks() const

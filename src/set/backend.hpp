@@ -53,11 +53,24 @@ struct BackendSpec
     /// Deterministic fault-injection plan installed on the engine at make()
     /// time (docs/robustness.md). Not part of the toString() round-trip.
     sys::FaultPlan faults;
+    /// Per-device speed multipliers (empty = homogeneous). Device d's
+    /// SimConfig gets memBandwidth and flopRate scaled by speedFactors[d] —
+    /// the heterogeneous-machine knob the Repartitioner rebalances against
+    /// (docs/robustness.md). Round-trips through toString() as
+    /// "speed=1,0.5,...".
+    std::vector<double> speedFactors;
 
     /// Fluent setter: spec.withFaults(plan) — enables fault injection.
     BackendSpec& withFaults(sys::FaultPlan plan)
     {
         faults = std::move(plan);
+        return *this;
+    }
+
+    /// Fluent setter: spec.withSpeedFactors({1.0, 0.5}) — heterogeneous mix.
+    BackendSpec& withSpeedFactors(std::vector<double> factors)
+    {
+        speedFactors = std::move(factors);
         return *this;
     }
 
@@ -144,6 +157,15 @@ class Backend
 
     /// Zero all virtual clocks (between measured benchmark runs).
     void resetClocks() const;
+
+    /// Monotone counter bumped by noteGeometryChange(). Containers record
+    /// the epoch their launch records were built against; Skeleton::sequence
+    /// rejects containers whose epoch lags this value, so a repartition can
+    /// never silently launch kernels over stale spans (docs/robustness.md).
+    [[nodiscard]] uint64_t geometryEpoch() const;
+    /// Called by Grid::repartition after re-slicing: invalidates every
+    /// container built against the previous geometry.
+    void noteGeometryChange() const;
 
     /// Observability facade: trace recording, Gantt/chrome-trace export,
     /// makespan, ExecutionReport aggregation (set/profiler.hpp).

@@ -119,12 +119,41 @@ bool Container::isReduce() const
 
 void Container::Impl::ensureSanitized()
 {
-    std::call_once(sanOnce, [this] {
-        ensureParsed();
-        if (sanBuilder) {
-            sanBuilder(*this);
-        }
-    });
+    std::lock_guard<std::mutex> lock(sanMutex);
+    if (sanBuilt) {
+        return;
+    }
+    ensureParsed();
+    if (sanBuilder) {
+        sanBuilder(*this);
+    }
+    sanBuilt = true;
+}
+
+void Container::rebuild()
+{
+    Impl& impl = *mImpl;
+    if (impl.rebuilder) {
+        impl.rebuilder(impl);
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl.sanMutex);
+        impl.sanRecords.clear();
+        impl.sanBuilt = false;
+    }
+    // Parse-time state snapshots the field's halo plan and per-item byte
+    // counts; both may have changed with the geometry, so re-parse lazily.
+    impl.parsed = false;
+    impl.accessList.clear();
+    if (impl.combine) {
+        impl.combine->mImpl->devCount = impl.devCount;
+        impl.combine->mImpl->geomEpoch = impl.geomEpoch;
+    }
+}
+
+uint64_t Container::geometryEpoch() const
+{
+    return mImpl->geomEpoch;
 }
 
 bool Container::sanitizable() const

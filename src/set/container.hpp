@@ -60,33 +60,42 @@ class Container
         // Devirtualized dispatch: one trampoline per (device, view) is
         // instantiated NOW, so launch() enqueues a precomputed KernelWork
         // with zero per-run span/kernel construction and exactly one
-        // indirect call per chunk (docs/performance.md).
-        for (int dev = 0; dev < c.mImpl->devCount; ++dev) {
-            for (const DataView view : kAllViews) {
-                auto   span = grid.span(dev, view);
-                Loader loader = Loader::execution(dev, view);
-                using SpanT = decltype(span);
-                using KernelT = decltype(fn(loader));
-                struct Tramp
-                {
-                    SpanT   sp;
-                    KernelT kernel;
-                    static void run(void* ctx, int32_t chunk, int32_t nChunks)
+        // indirect call per chunk (docs/performance.md). The loop lives in
+        // a stored rebuilder so a live container can re-derive its records
+        // after the grid repartitions: the captured grid handle shares the
+        // re-sliced Impl, so re-running the loop picks up the new spans.
+        c.mImpl->rebuilder = [grid, fn](Impl& impl) mutable {
+            impl.devCount = grid.devCount();
+            impl.geomEpoch = grid.backend().geometryEpoch();
+            impl.records.clear();
+            for (int dev = 0; dev < impl.devCount; ++dev) {
+                for (const DataView view : kAllViews) {
+                    auto   span = grid.span(dev, view);
+                    Loader loader = Loader::execution(dev, view);
+                    using SpanT = decltype(span);
+                    using KernelT = decltype(fn(loader));
+                    struct Tramp
                     {
-                        auto* t = static_cast<Tramp*>(ctx);
-                        t->sp.forEachChunk(chunk, nChunks, t->kernel);
-                    }
-                };
-                auto tramp = std::make_shared<Tramp>(Tramp{span, fn(loader)});
-                LaunchRecord rec;
-                rec.items = span.count();
-                rec.work.run = &Tramp::run;
-                rec.work.ctx = tramp.get();
-                rec.work.chunks = span.chunkCount();
-                rec.work.owner = std::move(tramp);
-                c.mImpl->records.push_back(std::move(rec));
+                        SpanT   sp;
+                        KernelT kernel;
+                        static void run(void* ctx, int32_t chunk, int32_t nChunks)
+                        {
+                            auto* t = static_cast<Tramp*>(ctx);
+                            t->sp.forEachChunk(chunk, nChunks, t->kernel);
+                        }
+                    };
+                    auto tramp = std::make_shared<Tramp>(Tramp{span, fn(loader)});
+                    LaunchRecord rec;
+                    rec.items = span.count();
+                    rec.work.run = &Tramp::run;
+                    rec.work.ctx = tramp.get();
+                    rec.work.chunks = span.chunkCount();
+                    rec.work.owner = std::move(tramp);
+                    impl.records.push_back(std::move(rec));
+                }
             }
-        }
+        };
+        c.mImpl->rebuilder(*c.mImpl);
         // Sanitized trampolines are built lazily on the first sanitized
         // launch: sanitize-off pays nothing beyond storing this closure.
         // Only generic (`auto&`) loading lambdas can be re-run against a
@@ -192,8 +201,13 @@ class Container
         // own partial slot; finalize folds the partials with a fixed-shape
         // pairwise tree. The tree shape depends only on the chunk count
         // (itself span-derived), so the fold order — and the floating-point
-        // result — is identical for any thread count.
-        for (int dev = 0; dev < c.mImpl->devCount; ++dev) {
+        // result — is identical for any thread count. Stored as a rebuilder
+        // for the same reason as factory(): repartition support.
+        c.mImpl->rebuilder = [grid, fn, result](Impl& impl) mutable {
+            impl.devCount = grid.devCount();
+            impl.geomEpoch = grid.backend().geometryEpoch();
+            impl.records.clear();
+            for (int dev = 0; dev < impl.devCount; ++dev) {
             for (const DataView view : kAllViews) {
                 auto   span = grid.span(dev, view);
                 Loader loader = Loader::execution(dev, view);
@@ -253,9 +267,11 @@ class Container
                 rec.work.ctx = tramp.get();
                 rec.work.chunks = chunks;
                 rec.work.owner = std::move(tramp);
-                c.mImpl->records.push_back(std::move(rec));
+                impl.records.push_back(std::move(rec));
             }
-        }
+            }
+        };
+        c.mImpl->rebuilder(*c.mImpl);
         // Sanitized reduce trampolines: same deterministic partial slots and
         // pairwise fold (results must stay bitwise identical with sanitize
         // on), plus observation sinks and the result-scalar write record.
@@ -405,6 +421,7 @@ class Container
         c.mImpl->name = std::move(name);
         c.mImpl->kind = Kind::ScalarOp;
         c.mImpl->devCount = backend.devCount();
+        c.mImpl->geomEpoch = backend.geometryEpoch();
         c.mImpl->seq = nextSeq();
         const double dur = 2.0 * backend.config().link.latency + 1e-6;
         c.mImpl->parser = [reads, writes](AccessList& rec) {
@@ -466,6 +483,19 @@ class Container
     /// (set::sanitize::Entry::seq) — stable across runs of one process.
     [[nodiscard]] uint64_t sanitizeSeq() const;
 
+    /// Re-derive the launch records from the (possibly re-sliced) grid the
+    /// container was built from: refreshes devCount, spans and trampolines,
+    /// drops sanitized records and the parsed access list so both rebuild
+    /// lazily against the grid's current geometry. Required after
+    /// Grid::repartition() before the container is sequenced again; a no-op
+    /// for halo/scalar containers (they have no span-derived state).
+    void rebuild();
+
+    /// Backend geometry epoch this container's records were built against
+    /// (see Backend::geometryEpoch); Skeleton::sequence rejects containers
+    /// whose epoch lags the backend's — stale spans must never be launched.
+    [[nodiscard]] uint64_t geometryEpoch() const;
+
    private:
     /// Process-wide container creation counter (sanitizer report keys).
     static uint64_t nextSeq();
@@ -508,13 +538,21 @@ class Container
         std::vector<LaunchRecord>  records;
         std::shared_ptr<Container> combine;  ///< combine step for reductions
 
+        /// Rebuilds `records` from the captured grid (set by the compute
+        /// factories; empty for halo/scalar containers) and the backend
+        /// geometry epoch the current records match (0 = never re-sliced).
+        std::function<void(Impl&)> rebuilder;
+        uint64_t                   geomEpoch = 0;
+
         /// Access sanitizer (set/sanitize.hpp): creation ordinal for stable
         /// report keys, the deferred builder of instrumented trampolines
-        /// and the records it fills (same dev * 3 + view indexing).
+        /// and the records it fills (same dev * 3 + view indexing). Guarded
+        /// by a mutex + flag (not std::once_flag) so rebuild() can reset it.
         uint64_t                   seq = 0;
         std::function<void(Impl&)> sanBuilder;
         std::vector<LaunchRecord>  sanRecords;
-        std::once_flag             sanOnce;
+        std::mutex                 sanMutex;
+        bool                       sanBuilt = false;
 
         [[nodiscard]] const LaunchRecord& recordAt(int dev, DataView view) const
         {

@@ -227,6 +227,27 @@ void ScheduleCache::clear()
     d.buckets.clear();
 }
 
+size_t ScheduleCache::invalidateDevCount(int devCount)
+{
+    ImplData&                   d = *mData;
+    std::lock_guard<std::mutex> lock(d.mutex);
+    size_t                      dropped = 0;
+    for (auto it = d.lru.begin(); it != d.lru.end();) {
+        // words[1] packs (devCount << 32 | occ << 16 | maxStreams); see
+        // makeScheduleKey. words[0] is the encoding version guard.
+        const bool match = it->key.words.size() > 1 &&
+                           (it->key.words[1] >> 32) == static_cast<uint64_t>(devCount);
+        if (match) {
+            d.dropFromBucket(it);
+            it = d.lru.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
 void ScheduleCache::setCapacity(size_t capacity)
 {
     ImplData&                   d = *mData;

@@ -106,6 +106,11 @@ class ScheduleCache
     [[nodiscard]] Stats stats() const;
     /// Drop every entry (counters survive; tests reset via setCapacity).
     void clear();
+    /// Drop every entry compiled for `devCount` devices. Recovery path:
+    /// after a backend shrink the old-geometry recipes must never be
+    /// replayed onto resized spans (docs/robustness.md). Returns the number
+    /// of entries dropped.
+    size_t invalidateDevCount(int devCount);
     /// Resize; also resets the counters (test hook). Capacity >= 1.
     void setCapacity(size_t capacity);
 

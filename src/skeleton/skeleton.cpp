@@ -486,6 +486,9 @@ struct Skeleton::ScheduleState
     int               levelCount = 0;
     uint64_t          hash = 0;
     bool              cacheHit = false;
+    /// Backend geometry epoch at sequence() time; run() refuses when the
+    /// live backend has moved on (repartition/rebind => re-sequence).
+    uint64_t geomEpoch = 0;
     /// Sorted, deduplicated data-object uids the sequence reads / writes
     /// (from the user containers' access records; halo nodes operate on the
     /// same uids). Drives the per-uid inter-run chains in runBody.
@@ -560,19 +563,30 @@ Skeleton::Skeleton(set::Backend backend) : mImpl(std::make_shared<Impl>())
 CompiledSchedule Skeleton::sequence(std::vector<set::Container> containers,
                                     SequenceOptions options)
 {
-    Impl&     s = *mImpl;
-    const int nDev = s.backend.devCount();
+    Impl&          s = *mImpl;
+    const int      nDev = s.backend.devCount();
+    const uint64_t geomEpoch = s.backend.geometryEpoch();
     for (const auto& c : containers) {
         NEON_CHECK(c.valid(), "invalid container in sequence");
         NEON_CHECK(c.devCount() == nDev,
                    "container '" + c.name() + "' was built for " +
                        std::to_string(c.devCount()) + " device(s) but the skeleton backend has " +
                        std::to_string(nDev));
+        // Partition-geometry staleness guard (docs/robustness.md): a
+        // container records the backend geometry epoch it was built under;
+        // sequencing one that predates a repartition/rebind would replay
+        // trampolines over spans that no longer exist.
+        NEON_CHECK(c.geometryEpoch() == geomEpoch,
+                   "container '" + c.name() + "' predates a partition-geometry change (epoch " +
+                       std::to_string(c.geometryEpoch()) + ", backend epoch " +
+                       std::to_string(geomEpoch) +
+                       "); call Container::rebuild() after Grid::repartition/rebindBackend");
     }
 
     auto state = std::make_shared<ScheduleState>();
     state->name = options.name;
     state->options = options;
+    state->geomEpoch = geomEpoch;
 
     // NEON_SANITIZE=1: every launch through this skeleton runs the
     // instrumented trampolines; an atexit diff fails the process with exit
@@ -727,6 +741,11 @@ void Skeleton::run(const RunScope& scope)
     Impl& s = *mImpl;
     NEON_CHECK(s.state != nullptr, "Skeleton::sequence must be called before run()");
     NEON_CHECK(scope.streamBase >= 0, "Skeleton::run: streamBase must be non-negative");
+    NEON_CHECK(s.state->geomEpoch == s.backend.geometryEpoch(),
+               "Skeleton::run: partition geometry changed since sequence() (epoch " +
+                   std::to_string(s.state->geomEpoch) + " -> " +
+                   std::to_string(s.backend.geometryEpoch()) +
+                   "); rebuild the containers and re-sequence()");
     const int nDev = s.backend.devCount();
 
     // Open/extend the observability run window and stamp every op this run

@@ -26,6 +26,15 @@ Two schemas are understood:
   latency strictly, and beat the serialized device utilization
   strictly — otherwise the service layer has stopped buying anything
   over a FIFO-of-one.
+* The adaptive-repartitioning sweep from bench_repartition
+  (docs/robustness.md, "bench": "repartition"): a heterogeneous
+  dry-run pool (speed factors with a real spread) runs a stencil+map
+  pipeline on the static equal slabs and again after a
+  measured-rate repartition. The gate is machine-independent because
+  utilization is virtual-time: the rebalanced plan must strictly beat
+  the static one, fields must actually migrate (migration bytes > 0),
+  and the rebalanced plan must differ from the static plan — otherwise
+  the repartitioner has degenerated into a no-op.
 
 Exit status is nonzero on the first missing or malformed report, so CI
 fails when a bench stops writing its payload.
@@ -225,6 +234,59 @@ def check_service_report(path: str, report: dict) -> list[str]:
     return errors
 
 
+def check_repartition_report(path: str, report: dict) -> list[str]:
+    errors = []
+    devices = report.get("devices")
+    if not isinstance(devices, int) or devices < 2:
+        errors.append(f"{path}: devices {devices!r} — need a multi-device pool")
+    factors = report.get("speedFactors")
+    if not isinstance(factors, list) or len(factors) != devices:
+        errors.append(f"{path}: speedFactors {factors!r} must list one factor per device")
+    elif min(factors) <= 0.0 or max(factors) == min(factors):
+        errors.append(
+            f"{path}: speedFactors {factors!r} must be positive and heterogeneous"
+        )
+    plans = report.get("plans")
+    if not isinstance(plans, dict) or "static" not in plans or "rebalanced" not in plans:
+        errors.append(f"{path}: missing 'plans' {{static, rebalanced}} section")
+    migration = report.get("migration")
+    if not isinstance(migration, dict) or "bytes" not in migration:
+        errors.append(f"{path}: missing 'migration' section with 'bytes'")
+    rebalance = report.get("rebalance")
+    if not isinstance(rebalance, dict) or "latency_ms" not in rebalance:
+        errors.append(f"{path}: missing 'rebalance' section with 'latency_ms'")
+    util = report.get("utilization")
+    if not isinstance(util, dict) or any(
+        k not in util for k in ("static", "rebalanced", "delta")
+    ):
+        errors.append(f"{path}: missing 'utilization' {{static, rebalanced, delta}}")
+    if errors:
+        return errors
+
+    for name in ("static", "rebalanced"):
+        if not 0.0 <= util[name] <= 1.0:
+            errors.append(f"{path}: utilization '{name}' {util[name]} out of [0, 1]")
+    if migration["bytes"] <= 0:
+        errors.append(
+            f"{path}: migration bytes {migration['bytes']} — the rebalance moved no data"
+        )
+    if rebalance["latency_ms"] < 0.0:
+        errors.append(f"{path}: negative rebalance latency {rebalance['latency_ms']}")
+    if plans["rebalanced"] == plans["static"]:
+        errors.append(f"{path}: rebalanced plan identical to static plan {plans['static']}")
+    if errors:
+        return errors
+
+    # The acceptance gate: measured-rate rebalancing must strictly improve
+    # utilization over static equal slabs on a heterogeneous mix.
+    if util["rebalanced"] <= util["static"]:
+        errors.append(
+            f"{path}: rebalanced utilization {util['rebalanced']:.3f} not above "
+            f"static {util['static']:.3f}"
+        )
+    return errors
+
+
 def check(path: str, overhead_baseline: str | None) -> list[str]:
     report, errors = load(path)
     if errors:
@@ -233,6 +295,8 @@ def check(path: str, overhead_baseline: str | None) -> list[str]:
         return check_overhead_report(path, report, overhead_baseline)
     if report.get("bench") == "service":
         return check_service_report(path, report)
+    if report.get("bench") == "repartition":
+        return check_repartition_report(path, report)
     return check_execution_report(path, report)
 
 
